@@ -1,0 +1,32 @@
+"""Shared helpers for the reproduction benchmarks.
+
+Every benchmark regenerates one table or figure from the paper's
+evaluation (Section 5).  Conventions:
+
+* the experiment runs once inside ``benchmark.pedantic(...)`` so that
+  ``pytest benchmarks/ --benchmark-only`` both exercises and times it;
+* the regenerated table is printed (visible with ``-s``) **and** written
+  to ``benchmarks/out/<name>.txt`` so EXPERIMENTS.md can reference the
+  exact output of the last run;
+* assertions check the paper's qualitative *shape* (who wins, orderings,
+  rough factors) rather than absolute joules, which depend on the
+  authors' handset and carrier configuration.
+"""
+
+import pathlib
+
+import pytest
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture
+def report():
+    """Writer fixture: report(name, text) prints and persists the table."""
+    OUT_DIR.mkdir(exist_ok=True)
+
+    def write(name: str, text: str) -> None:
+        print(f"\n{text}\n")
+        (OUT_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return write

@@ -1,0 +1,50 @@
+"""Performance: simulator throughput and per-device middleware cost.
+
+Not a paper table — this benchmark keeps the reproduction honest about
+its own substrate: the discrete-event simulator must stay fast enough
+that the Table 4 deployment (≈200 device-days) completes in minutes.
+It measures wall-clock time to simulate one hour of the Table 3 workload
+for a small fleet, and reports simulated-vs-wall speedup and kernel
+event throughput.
+"""
+
+import pytest
+
+from repro.apps import battery_monitor
+from repro.core.middleware import PogoSimulation
+from repro.sim.kernel import HOUR
+
+FLEET = 5
+
+
+def simulate_fleet_hour():
+    sim = PogoSimulation(seed=9)
+    collector = sim.add_collector("alice")
+    devices = [sim.add_device(with_email_app=True) for _ in range(FLEET)]
+    sim.start()
+    sim.assign(collector, devices)
+    collector.node.deploy(battery_monitor.build_experiment(), [d.jid for d in devices])
+    sim.run(hours=1)
+    return sim
+
+
+def test_perf_fleet_hour(benchmark, report):
+    sim = benchmark(simulate_fleet_hour)
+    wall_s = benchmark.stats["mean"]
+    sim_s = 1 * HOUR / 1000.0
+    events = sim.kernel.events_executed
+    lines = [
+        "Simulator throughput — 1 simulated hour, "
+        f"{FLEET} devices + 1 collector (Table 3 workload)",
+        "",
+        f"  kernel events executed : {events:,}",
+        f"  wall time (mean)       : {wall_s*1000:.0f} ms",
+        f"  simulated/wall speedup : {sim_s / wall_s:,.0f}x",
+        f"  event throughput       : {events / wall_s:,.0f} events/s",
+    ]
+    report("perf_simulator", "\n".join(lines))
+
+    # The Table 4 study needs ≥ ~3000x real time per device to finish in
+    # minutes; leave generous slack for slow CI machines.
+    assert sim_s / wall_s > 200.0
+    assert events > 2_000

@@ -1,0 +1,75 @@
+"""Table 2 — code complexity of Pogo applications.
+
+Paper: the localization application totals 214 SLOC (scan.js 41,
+clustering.js 155, collect.js 18) and RogueFinder 33 (28 + 5), with
+sizes in bytes.  We count our deployable Python scripts the same way
+(no blanks, no comments) and check the paper's qualitative claims:
+
+* whole applications fit in a few hundred lines;
+* ``clustering`` dominates the localization app ("by far the largest,
+  mainly due to the modified DBSCAN clustering algorithm");
+* RogueFinder is an order of magnitude smaller, with a trivial collector
+  script.
+"""
+
+from repro.analysis.sloc import count_scripts
+from repro.apps import localization, roguefinder
+
+PAPER = {
+    "localization": {"scan": 41, "clustering": 155, "collect": 18, "total": 214},
+    "roguefinder": {"roguefinder": 28, "collect": 5, "total": 33},
+}
+
+
+def measure():
+    loc_experiment = localization.build_experiment()
+    loc_scripts = dict(loc_experiment.device_scripts)
+    loc_scripts["collect"] = loc_experiment.collector_scripts["collect"]
+
+    rf_experiment = roguefinder.build_experiment([(52.0, 4.3), (52.1, 4.4), (52.0, 4.5)])
+    rf_scripts = dict(rf_experiment.device_scripts)
+    rf_scripts["collect"] = rf_experiment.collector_scripts["collect"]
+
+    return {
+        "localization": count_scripts(loc_scripts),
+        "roguefinder": count_scripts(rf_scripts),
+    }
+
+
+def render(measured) -> str:
+    lines = ["Table 2 — code complexity for Pogo applications", ""]
+    lines.append(f"{'Application':<14} {'File':<14} {'SLOC':>5} {'(paper)':>8} {'Size B':>7}")
+    for app, rows in measured.items():
+        for name, count in rows:
+            paper = PAPER[app].get(name, "—")
+            lines.append(
+                f"{app:<14} {name:<14} {count.sloc:>5} {str(paper):>8} {count.size_bytes:>7}"
+            )
+    return "\n".join(lines)
+
+
+def test_table2_code_complexity(benchmark, report):
+    measured = benchmark.pedantic(measure, rounds=1, iterations=1)
+    report("table2_complexity", render(measured))
+
+    loc = dict(measured["localization"])
+    rf = dict(measured["roguefinder"])
+
+    # Applications are small: a couple hundred lines end to end.
+    assert loc["total"].sloc < 400
+    assert rf["total"].sloc < 80
+
+    # clustering dominates the localization app.
+    assert loc["clustering"].sloc > loc["scan"].sloc + loc["collect"].sloc
+    assert loc["clustering"].sloc == max(c.sloc for n, c in measured["localization"] if n != "total")
+
+    # The RogueFinder collector script is trivial (paper: 5 SLOC).
+    assert rf["collect"].sloc <= 8
+
+    # RogueFinder is much smaller than the localization app.
+    assert rf["total"].sloc < 0.4 * loc["total"].sloc
+
+    # Size columns are plausible byte counts for the SLOCs involved.
+    for app in measured.values():
+        for _name, count in app:
+            assert count.size_bytes >= count.sloc * 5

@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Per-script power modelling (the paper's Section 6 future work).
+
+"In the future we would like to implement power modelling to estimate
+the resource consumption of individual scripts."  This example runs two
+experiments side by side on one phone — the localization pipeline and a
+fleet battery monitor — and prints the estimator's per-script breakdown:
+who woke the CPU, who burned the Wi-Fi radio, who transmitted what.
+
+Run:  python examples/power_accounting.py
+"""
+
+from repro import PogoSimulation
+from repro.apps import battery_monitor, localization
+from repro.core.power_model import ScriptPowerModel
+from repro.core.services import GeolocationBridge
+from repro.world.geolocation import GeolocationService
+
+HOURS = 6
+
+
+def main() -> None:
+    sim = PogoSimulation(seed=13)
+    researcher = sim.add_collector("alice")
+    phone = sim.add_device(world_days=1, with_email_app=True)
+
+    service = GeolocationService()
+    for group in phone.user_world.places.values():
+        for place in group:
+            service.register_all(place.access_points)
+    researcher.node.add_service(GeolocationBridge(service))
+
+    sim.start()
+    sim.assign(researcher, [phone])
+    # Two experiments sharing one device (Section 3.1's many-to-many).
+    researcher.node.deploy(localization.build_experiment(), [phone.jid])
+    researcher.node.deploy(battery_monitor.build_experiment(), [phone.jid])
+    sim.run(hours=HOURS)
+
+    model = ScriptPowerModel(phone.node)
+    print(f"per-script resource estimate after {HOURS} simulated hours:\n")
+    print(model.report())
+    print(
+        "\nThe Wi-Fi scanning demanded by the localization 'scan' script"
+        "\ndominates; the battery monitor's cost is almost entirely the"
+        "\nonce-a-minute CPU wakeups, attributed to its collector."
+    )
+
+
+if __name__ == "__main__":
+    main()

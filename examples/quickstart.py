@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Quickstart: collect battery readings from a small simulated fleet.
+
+This is the smallest complete Pogo experiment:
+
+1. build a simulated testbed (XMPP switchboard + admin),
+2. enroll three phones and one researcher,
+3. deploy a collector-side script that subscribes to the ``battery``
+   channel — the subscription propagates to every device and switches
+   their battery sensors on (Section 4.2 of the paper),
+4. run one simulated hour and print what arrived.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Experiment, PogoSimulation
+
+COLLECT_SCRIPT = """
+setDescription('Fleet-wide battery monitor')
+
+readings = []
+
+
+def handle(msg):
+    readings.append(msg)
+    log('battery reading from', msg['_device'])
+
+
+subscribe('battery', handle, {'interval': 60 * 1000})
+"""
+
+
+def main() -> None:
+    sim = PogoSimulation(seed=7)
+    researcher = sim.add_collector("alice")
+    phones = [sim.add_device(with_email_app=True) for _ in range(3)]
+
+    sim.start()
+    sim.assign(researcher, phones)
+
+    experiment = Experiment(
+        experiment_id="quickstart",
+        description="Battery telemetry quickstart",
+        collector_scripts={"collect": COLLECT_SCRIPT},
+    )
+    context = researcher.node.deploy(experiment, [p.jid for p in phones])
+
+    sim.run(hours=1)
+
+    readings = context.scripts["collect"].namespace["readings"]
+    print(f"collected {len(readings)} battery readings from {len(phones)} phones\n")
+    per_device = {}
+    for reading in readings:
+        per_device.setdefault(reading["_device"], []).append(reading)
+    for jid, device_readings in sorted(per_device.items()):
+        last = device_readings[-1]
+        print(
+            f"  {jid}: {len(device_readings):3d} readings, "
+            f"last voltage {last['voltage']:.3f} V, level {last['level']*100:.1f}%"
+        )
+
+    print("\nhow the data travelled (per device):")
+    for phone in phones:
+        node = phone.node
+        print(
+            f"  {phone.jid}: {node.payloads_sent} payloads in {node.batches_sent} batches; "
+            f"radio ramp-ups {phone.phone.modem.rampup_count} "
+            f"(e-mail checks {phone.email_app().check_count}) — "
+            f"energy {phone.phone.energy_joules:.1f} J"
+        )
+    print(
+        "\nPogo batched its reports into other apps' radio sessions, so the\n"
+        "number of ramp-ups tracks the e-mail schedule, not the sample count."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Analysis: clustering, match scoring, SLOC counting, energy traces."""
+
+from .clustering import (
+    Cluster,
+    WindowedDBSCAN,
+    cluster_stream,
+    clustering_script_core,
+    cosine_coefficient,
+    mean_vector,
+    nearest_to_mean,
+)
+from .energy import (
+    TailSegmentation,
+    percent_increase,
+    segment_tail_from_series,
+    segment_tail_from_state_trace,
+    series_energy_joules,
+)
+from .matching import (
+    MATCH_EXACT,
+    MATCH_MISSING,
+    MATCH_PARTIAL,
+    MatchReport,
+    MatchResult,
+    data_reduction_percent,
+    match_clusters,
+)
+from .export import intervals_to_csv, rows_to_csv, series_to_csv, trace_to_csv
+from .plotting import render_series, render_tracks
+from .sloc import SlocCount, count_scripts, count_sloc
+
+__all__ = [
+    "Cluster",
+    "WindowedDBSCAN",
+    "cluster_stream",
+    "clustering_script_core",
+    "cosine_coefficient",
+    "mean_vector",
+    "nearest_to_mean",
+    "TailSegmentation",
+    "percent_increase",
+    "segment_tail_from_series",
+    "segment_tail_from_state_trace",
+    "series_energy_joules",
+    "MATCH_EXACT",
+    "MATCH_MISSING",
+    "MATCH_PARTIAL",
+    "MatchReport",
+    "MatchResult",
+    "data_reduction_percent",
+    "match_clusters",
+    "count_scripts",
+    "count_sloc",
+    "SlocCount",
+    "intervals_to_csv",
+    "rows_to_csv",
+    "series_to_csv",
+    "trace_to_csv",
+    "render_series",
+    "render_tracks",
+]

@@ -1,0 +1,144 @@
+"""Parser for AnonyTL, AnonySense's task language (the paper's baseline).
+
+Section 5.1 compares Pogo's JavaScript model against AnonyTL, "a
+domain-specific language ... which has a Lisp-like syntax" (Section 2).
+Listing 1 reproduces the RogueFinder task:
+
+    (Task 25043) (Expires 1196728453)
+    (Accept (= @carrier 'professor'))
+    (Report (location SSIDs) (Every 1 Minute)
+      (In location
+        (Polygon (Point 1 1) (Point 2 2)
+        (Point 3 0))))
+
+This module implements the s-expression layer: a tokenizer and a reader
+producing nested Python lists of atoms.  Atoms:
+
+* integers and floats (``1``, ``2.5``, ``-3``),
+* quoted strings (``'professor'``),
+* attribute references (``@carrier``) as :class:`Attribute`,
+* bare symbols (``Report``, ``location``) as :class:`Symbol`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Union
+
+
+class AnonyTLSyntaxError(ValueError):
+    """Malformed task text."""
+
+
+@dataclass(frozen=True)
+class Symbol:
+    """A bare identifier (case-sensitive, compared case-insensitively)."""
+
+    name: str
+
+    def matches(self, word: str) -> bool:
+        return self.name.lower() == word.lower()
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return self.name
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """An ``@attribute`` reference (device-side metadata)."""
+
+    name: str
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"@{self.name}"
+
+
+SExpr = Union[int, float, str, Symbol, Attribute, List["SExpr"]]
+
+
+def tokenize(text: str) -> List[str]:
+    """Split task text into parenthesis and atom tokens."""
+    tokens: List[str] = []
+    i = 0
+    length = len(text)
+    while i < length:
+        ch = text[i]
+        if ch in "()":
+            tokens.append(ch)
+            i += 1
+        elif ch.isspace():
+            i += 1
+        elif ch == ";":
+            # Comment to end of line (conventional in Lisp syntaxes).
+            while i < length and text[i] != "\n":
+                i += 1
+        elif ch == "'":
+            end = text.find("'", i + 1)
+            if end == -1:
+                raise AnonyTLSyntaxError(f"unterminated string at offset {i}")
+            tokens.append(text[i : end + 1])
+            i = end + 1
+        else:
+            start = i
+            while i < length and not text[i].isspace() and text[i] not in "()';":
+                i += 1
+            tokens.append(text[start:i])
+    return tokens
+
+
+def _atom(token: str) -> SExpr:
+    if token.startswith("'") and token.endswith("'"):
+        return token[1:-1]
+    if token.startswith("@"):
+        if len(token) == 1:
+            raise AnonyTLSyntaxError("empty attribute reference '@'")
+        return Attribute(token[1:])
+    try:
+        return int(token)
+    except ValueError:
+        pass
+    try:
+        return float(token)
+    except ValueError:
+        pass
+    return Symbol(token)
+
+
+def parse_forms(text: str) -> List[SExpr]:
+    """Parse task text into a list of top-level forms."""
+    tokens = tokenize(text)
+    position = 0
+
+    def read() -> SExpr:
+        nonlocal position
+        if position >= len(tokens):
+            raise AnonyTLSyntaxError("unexpected end of input")
+        token = tokens[position]
+        position += 1
+        if token == "(":
+            form: List[SExpr] = []
+            while True:
+                if position >= len(tokens):
+                    raise AnonyTLSyntaxError("unbalanced '(': form never closed")
+                if tokens[position] == ")":
+                    position += 1
+                    return form
+                form.append(read())
+        if token == ")":
+            raise AnonyTLSyntaxError("unbalanced ')'")
+        return _atom(token)
+
+    forms: List[SExpr] = []
+    while position < len(tokens):
+        forms.append(read())
+    return forms
+
+
+def head_is(form: SExpr, word: str) -> bool:
+    """Whether a form is a list starting with the given symbol."""
+    return (
+        isinstance(form, list)
+        and bool(form)
+        and isinstance(form[0], Symbol)
+        and form[0].matches(word)
+    )

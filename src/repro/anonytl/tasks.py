@@ -1,0 +1,219 @@
+"""AnonyTL task model: the semantic layer above the s-expressions.
+
+A task (AnonySense, MobiSys'08 — the paper's ref [8]) consists of:
+
+* ``(Task <id>)`` — numeric task identifier;
+* ``(Expires <unix-seconds>)`` — when devices stop running it;
+* ``(Accept <predicate>)`` — which devices may accept the task, matched
+  against device attributes (``@carrier``, ``@os``, ...);
+* one or more ``(Report (<fields>) (Every <n> <unit>) [<condition>])`` —
+  periodically report the listed sensor fields, optionally only when a
+  condition such as ``(In location (Polygon ...))`` holds.
+
+Supported report fields map onto Pogo sensor channels: ``location``
+(the location sensor) and ``SSIDs`` (the Wi-Fi scanner).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .parser import AnonyTLSyntaxError, Attribute, SExpr, Symbol, head_is, parse_forms
+
+#: Report fields the compiler understands, mapped to sensor channels.
+SUPPORTED_FIELDS = {"location": "locations", "ssids": "wifi-scan"}
+
+_UNIT_MS = {
+    "second": 1_000.0,
+    "seconds": 1_000.0,
+    "minute": 60_000.0,
+    "minutes": 60_000.0,
+    "hour": 3_600_000.0,
+    "hours": 3_600_000.0,
+}
+
+
+class AnonyTLSemanticError(ValueError):
+    """Structurally valid s-expressions that are not a valid task."""
+
+
+@dataclass(frozen=True)
+class AcceptPredicate:
+    """``(= @attribute 'value')`` — and conjunctions thereof."""
+
+    requirements: Tuple[Tuple[str, str], ...]
+
+    def matches(self, attributes: Dict[str, str]) -> bool:
+        return all(attributes.get(name) == value for name, value in self.requirements)
+
+
+@dataclass(frozen=True)
+class PolygonCondition:
+    """``(In location (Polygon (Point x y) ...))``."""
+
+    subject: str
+    vertices: Tuple[Tuple[float, float], ...]
+
+
+@dataclass(frozen=True)
+class ReportSpec:
+    """One ``(Report ...)`` statement."""
+
+    fields: Tuple[str, ...]
+    interval_ms: float
+    condition: Optional[PolygonCondition] = None
+
+    @property
+    def channels(self) -> List[str]:
+        return [SUPPORTED_FIELDS[f] for f in self.fields]
+
+
+@dataclass(frozen=True)
+class AnonyTLTask:
+    """A fully parsed task."""
+
+    task_id: int
+    expires: Optional[int]
+    accept: Optional[AcceptPredicate]
+    reports: Tuple[ReportSpec, ...]
+
+    @property
+    def experiment_id(self) -> str:
+        return f"anonytl-{self.task_id}"
+
+
+# ---------------------------------------------------------------------------
+# Form interpretation
+# ---------------------------------------------------------------------------
+
+
+def _expect_symbol(value: SExpr, context: str) -> str:
+    if not isinstance(value, Symbol):
+        raise AnonyTLSemanticError(f"expected a symbol in {context}, got {value!r}")
+    return value.name
+
+
+def _parse_accept(form: List[SExpr]) -> AcceptPredicate:
+    # (Accept (= @carrier 'professor'))  or  (Accept (and (= ...) (= ...)))
+    if len(form) != 2:
+        raise AnonyTLSemanticError("(Accept ...) takes exactly one predicate")
+    predicate = form[1]
+
+    def parse_equals(p: SExpr) -> Tuple[str, str]:
+        if (
+            not isinstance(p, list)
+            or len(p) != 3
+            or not (isinstance(p[0], Symbol) and p[0].name == "=")
+            or not isinstance(p[1], Attribute)
+            or not isinstance(p[2], str)
+        ):
+            raise AnonyTLSemanticError(f"unsupported Accept predicate: {p!r}")
+        return (p[1].name, p[2])
+
+    if head_is(predicate, "and"):
+        requirements = tuple(parse_equals(p) for p in predicate[1:])
+    else:
+        requirements = (parse_equals(predicate),)
+    return AcceptPredicate(requirements)
+
+
+def _parse_polygon(form: SExpr) -> Tuple[Tuple[float, float], ...]:
+    if not head_is(form, "Polygon"):
+        raise AnonyTLSemanticError(f"expected (Polygon ...), got {form!r}")
+    vertices: List[Tuple[float, float]] = []
+    for point in form[1:]:
+        if not head_is(point, "Point") or len(point) != 3:
+            raise AnonyTLSemanticError(f"expected (Point x y), got {point!r}")
+        x, y = point[1], point[2]
+        if not isinstance(x, (int, float)) or not isinstance(y, (int, float)):
+            raise AnonyTLSemanticError(f"non-numeric point: {point!r}")
+        vertices.append((float(x), float(y)))
+    if len(vertices) < 3:
+        raise AnonyTLSemanticError("a Polygon needs at least 3 points")
+    return tuple(vertices)
+
+
+def _parse_condition(form: SExpr) -> PolygonCondition:
+    # (In location (Polygon ...))
+    if not head_is(form, "In") or len(form) != 3:
+        raise AnonyTLSemanticError(f"unsupported condition: {form!r}")
+    subject = _expect_symbol(form[1], "(In ...)").lower()
+    if subject != "location":
+        raise AnonyTLSemanticError(f"only (In location ...) is supported, got {subject}")
+    return PolygonCondition(subject=subject, vertices=_parse_polygon(form[2]))
+
+
+def _parse_report(form: List[SExpr]) -> ReportSpec:
+    # (Report (<fields>) (Every n unit) [condition])
+    if len(form) < 3:
+        raise AnonyTLSemanticError("(Report ...) needs fields and a schedule")
+    fields_form = form[1]
+    if not isinstance(fields_form, list) or not fields_form:
+        raise AnonyTLSemanticError("(Report ...) fields must be a non-empty list")
+    fields = []
+    for item in fields_form:
+        name = _expect_symbol(item, "report fields").lower()
+        if name not in SUPPORTED_FIELDS:
+            raise AnonyTLSemanticError(
+                f"unsupported report field {name!r}; supported: {sorted(SUPPORTED_FIELDS)}"
+            )
+        fields.append(name)
+
+    every = form[2]
+    if not head_is(every, "Every") or len(every) != 3:
+        raise AnonyTLSemanticError(f"expected (Every n unit), got {every!r}")
+    count = every[1]
+    unit = _expect_symbol(every[2], "(Every ...)").lower()
+    if not isinstance(count, (int, float)) or count <= 0:
+        raise AnonyTLSemanticError(f"invalid Every count: {count!r}")
+    if unit not in _UNIT_MS:
+        raise AnonyTLSemanticError(f"unknown time unit: {unit!r}")
+    interval_ms = float(count) * _UNIT_MS[unit]
+
+    condition = None
+    if len(form) >= 4:
+        condition = _parse_condition(form[3])
+    return ReportSpec(fields=tuple(fields), interval_ms=interval_ms, condition=condition)
+
+
+def parse_task(text: str) -> AnonyTLTask:
+    """Parse complete task text (Listing 1 format) into a task object."""
+    forms = parse_forms(text)
+    task_id: Optional[int] = None
+    expires: Optional[int] = None
+    accept: Optional[AcceptPredicate] = None
+    reports: List[ReportSpec] = []
+    for form in forms:
+        if head_is(form, "Task"):
+            if len(form) != 2 or not isinstance(form[1], int):
+                raise AnonyTLSemanticError(f"bad (Task id): {form!r}")
+            task_id = form[1]
+        elif head_is(form, "Expires"):
+            if len(form) != 2 or not isinstance(form[1], int):
+                raise AnonyTLSemanticError(f"bad (Expires ts): {form!r}")
+            expires = form[1]
+        elif head_is(form, "Accept"):
+            accept = _parse_accept(form)
+        elif head_is(form, "Report"):
+            reports.append(_parse_report(form))
+        else:
+            raise AnonyTLSemanticError(f"unknown top-level form: {form!r}")
+    if task_id is None:
+        raise AnonyTLSemanticError("task is missing (Task <id>)")
+    if not reports:
+        raise AnonyTLSemanticError("task has no (Report ...) statement")
+    return AnonyTLTask(
+        task_id=task_id, expires=expires, accept=accept, reports=tuple(reports)
+    )
+
+
+#: Listing 1 verbatim, as shipped in the paper.
+ROGUEFINDER_TASK = """\
+(Task 25043) (Expires 1196728453)
+(Accept (= @carrier 'professor'))
+(Report (location SSIDs) (Every 1 Minute)
+  (In location
+    (Polygon (Point 1 1) (Point 2 2)
+    (Point 3 0))))
+"""

@@ -1,0 +1,19 @@
+"""Ready-made Pogo applications (the paper's example experiments)."""
+
+from . import (
+    activity_monitor,
+    battery_monitor,
+    deployment_study,
+    localization,
+    noise_map,
+    roguefinder,
+)
+
+__all__ = [
+    "activity_monitor",
+    "battery_monitor",
+    "deployment_study",
+    "localization",
+    "noise_map",
+    "roguefinder",
+]

@@ -1,0 +1,104 @@
+"""Activity detection: a context-inference application on Pogo.
+
+The paper's related-work systems (Jigsaw, Mobicon) ship built-in
+accelerometer classifiers; Pogo's position is that such processing
+belongs *in scripts* ("The flexibility of our scripting environment
+allows us to write complex sensing applications", Section 4.1).  This
+application demonstrates that: a device script classifies accelerometer
+windows into still/moving with a hysteresis filter and reports only the
+*transitions* — another instance of on-line processing slashing the
+transferred data volume.
+
+Channels: consumes ``accel``; publishes ``activity-transitions``.
+"""
+
+from __future__ import annotations
+
+from ..core.deployment import Experiment
+
+EXPERIMENT_ID = "activity-monitor"
+
+CHANNEL_TRANSITIONS = "activity-transitions"
+
+
+def build_classifier_script(
+    interval_ms: int = 5_000,
+    moving_threshold: float = 0.15,
+    hysteresis_windows: int = 3,
+) -> str:
+    """The device script: classify windows, report state transitions.
+
+    A window with acceleration std above ``moving_threshold`` g counts
+    as movement; the state flips only after ``hysteresis_windows``
+    consecutive windows agree (debouncing sensor noise).
+    """
+    return f'''setDescription('Classifies movement from accelerometer windows')
+
+MOVING_THRESHOLD = {moving_threshold}
+HYSTERESIS = {hysteresis_windows}
+
+state = {{'current': 'still', 'streak': 0, 'candidate': 'still', 'since': 0}}
+
+
+def classify(msg):
+    return 'moving' if msg['std'] >= MOVING_THRESHOLD else 'still'
+
+
+def handle_window(msg):
+    observed = classify(msg)
+    if observed == state['current']:
+        state['streak'] = 0
+        state['candidate'] = observed
+        return
+    if observed == state['candidate']:
+        state['streak'] += 1
+    else:
+        state['candidate'] = observed
+        state['streak'] = 1
+    if state['streak'] >= HYSTERESIS:
+        previous = state['current']
+        state['current'] = observed
+        state['streak'] = 0
+        publish('activity-transitions', {{
+            'from': previous,
+            'to': observed,
+            'at': msg['timestamp'],
+            'dwell_ms': msg['timestamp'] - state['since'],
+        }})
+        state['since'] = msg['timestamp']
+
+
+subscribe('accel', handle_window, {{'interval': {interval_ms}}})
+'''
+
+
+def build_collect_script() -> str:
+    return '''setDescription('Collects activity transitions from the fleet')
+
+transitions = []
+
+
+def handle(msg):
+    transitions.append(msg)
+    logTo('activity', json(msg))
+
+
+subscribe('activity-transitions', handle)
+'''
+
+
+def build_experiment(
+    interval_ms: int = 5_000,
+    moving_threshold: float = 0.15,
+    hysteresis_windows: int = 3,
+) -> Experiment:
+    return Experiment(
+        experiment_id=EXPERIMENT_ID,
+        description="On-device activity classification, transitions only",
+        device_scripts={
+            "classifier": build_classifier_script(
+                interval_ms, moving_threshold, hysteresis_windows
+            ),
+        },
+        collector_scripts={"collect": build_collect_script()},
+    )

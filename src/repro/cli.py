@@ -1,0 +1,295 @@
+"""Command-line interface: run the reproduction's experiments directly.
+
+    python -m repro <command> [options]
+
+Commands
+--------
+quickstart       battery telemetry across a small simulated fleet
+localization     the Section 4.1 app for N days on one phone
+roguefinder      Listing 2's geofenced scanning for one day
+tail-trace       Figure 3: one transmission's power trace (ASCII)
+table3           Table 3: hourly energy per carrier, with/without Pogo
+table4           Table 4: the full deployment study (slow; supports --scale)
+anonytl          parse/compile/run an AnonyTL task file (Listing 1 format)
+power-report     per-script resource estimates after a simulated run
+
+Every command accepts ``--seed`` and prints a deterministic report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .sim.kernel import MINUTE
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduction of 'Pogo, a Middleware for Mobile Phone Sensing'",
+    )
+    parser.add_argument("--seed", type=int, default=7, help="experiment seed")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    quickstart = sub.add_parser("quickstart", help="battery telemetry quickstart")
+    quickstart.add_argument("--devices", type=int, default=3)
+    quickstart.add_argument("--hours", type=float, default=1.0)
+
+    localization = sub.add_parser("localization", help="the Section 4.1 application")
+    localization.add_argument("--days", type=int, default=2)
+
+    roguefinder = sub.add_parser("roguefinder", help="Listing 2's geofenced scanning")
+    roguefinder.add_argument("--hours", type=float, default=24.0)
+
+    sub.add_parser("tail-trace", help="Figure 3 power trace (ASCII)")
+
+    sub.add_parser("table3", help="Table 3 energy comparison")
+
+    table4 = sub.add_parser("table4", help="Table 4 deployment study")
+    table4.add_argument("--scale", type=float, default=1.0,
+                        help="shrink session lengths proportionally")
+
+    anonytl = sub.add_parser("anonytl", help="run an AnonyTL task file")
+    anonytl.add_argument("task_file", help="path to task text (Listing 1 format)")
+    anonytl.add_argument("--hours", type=float, default=12.0)
+
+    power = sub.add_parser("power-report", help="per-script power estimates")
+    power.add_argument("--hours", type=float, default=6.0)
+
+    return parser
+
+
+# ---------------------------------------------------------------------------
+# Commands
+# ---------------------------------------------------------------------------
+
+
+def cmd_quickstart(args) -> int:
+    from .apps import battery_monitor
+    from .core.middleware import PogoSimulation
+
+    sim = PogoSimulation(seed=args.seed)
+    collector = sim.add_collector("cli")
+    devices = [sim.add_device(with_email_app=True) for _ in range(args.devices)]
+    sim.start()
+    sim.assign(collector, devices)
+    context = collector.node.deploy(
+        battery_monitor.build_experiment(), [d.jid for d in devices]
+    )
+    sim.run(hours=args.hours)
+    readings = context.scripts["collect"].namespace["readings"]
+    print(f"{len(readings)} readings from {args.devices} devices in {args.hours} h")
+    for device in devices:
+        print(
+            f"  {device.jid}: {device.node.payloads_sent} payloads / "
+            f"{device.node.batches_sent} batches, {device.phone.energy_joules:.1f} J"
+        )
+    return 0
+
+
+def cmd_localization(args) -> int:
+    from .apps import localization
+    from .core.middleware import PogoSimulation
+    from .core.services import GeolocationBridge
+    from .world.geolocation import GeolocationService
+
+    sim = PogoSimulation(seed=args.seed)
+    collector = sim.add_collector("cli")
+    device = sim.add_device(world_days=args.days, with_email_app=True)
+    service = GeolocationService()
+    for group in device.user_world.places.values():
+        for place in group:
+            service.register_all(place.access_points)
+    collector.node.add_service(GeolocationBridge(service))
+    sim.start()
+    sim.assign(collector, [device])
+    context = collector.node.deploy(localization.build_experiment(), [device.jid])
+    sim.run(days=args.days)
+    database = context.scripts["collect"].namespace["database"]
+    print(f"{len(database)} dwell sessions over {args.days} days:")
+    for cluster in database:
+        hours = cluster["entry"] / 3_600_000.0
+        print(
+            f"  day {int(hours // 24)} {hours % 24:5.2f}h  "
+            f"{cluster['samples']:4d} scans  place={'yes' if cluster['place'] else 'no'}"
+        )
+    return 0
+
+
+def cmd_roguefinder(args) -> int:
+    from .apps import roguefinder
+    from .core.middleware import PogoSimulation
+    from .world.geometry import to_latlon
+
+    sim = PogoSimulation(seed=args.seed)
+    collector = sim.add_collector("cli")
+    device = sim.add_device(world_days=max(1, int(args.hours // 24) + 1), with_email_app=True)
+    office = device.user_world.places["office"][0]
+    polygon = [
+        to_latlon(office.center.offset(dx, dy))
+        for dx, dy in ((-150, -150), (150, -150), (150, 150), (-150, 150))
+    ]
+    sim.start()
+    sim.assign(collector, [device])
+    context = collector.node.deploy(roguefinder.build_experiment(polygon), [device.jid])
+    sim.run(hours=args.hours)
+    scans = context.scripts["collect"].namespace["scans"]
+    sensor = device.node.sensor_manager.sensors["wifi-scan"]
+    print(f"{len(scans)} geofenced scans reported in {args.hours} h")
+    print(f"scanner performed {sensor.completed_scans} scans (duty-cycled by location)")
+    return 0
+
+
+def cmd_tail_trace(args) -> int:
+    from .analysis.energy import segment_tail_from_state_trace
+    from .analysis.plotting import render_series
+    from .core.middleware import PogoSimulation
+    from .device.power import PowerMeter
+    from .device.radio import KPN
+
+    sim = PogoSimulation(seed=args.seed, carrier=KPN, record_trace=True)
+    device = sim.add_device(with_email_app=True, simulate_paging=True)
+    meter = PowerMeter(sim.kernel, device.phone.rail, interval_ms=50.0)
+    meter.start()
+    sim.start()
+    sim.run(duration_ms=7 * MINUTE)
+    seg = segment_tail_from_state_trace(
+        sim.trace, device.phone.modem.name, KPN, after_ms=4 * MINUTE
+    )
+    if seg is None:
+        print("no transmission found", file=sys.stderr)
+        return 1
+    print(
+        f"tail b->d {seg.tail_duration_ms/1000:.1f} s, {seg.tail_energy_j:.2f} J "
+        f"(transfer itself {seg.transfer_energy_j:.2f} J)\n"
+    )
+    print(
+        render_series(
+            meter.samples,
+            start_ms=seg.a_ramp_start_ms - 20_000.0,
+            end_ms=seg.d_fach_end_ms + 20_000.0,
+            height=8,
+            annotations=[
+                (seg.a_ramp_start_ms, "a"),
+                (seg.b_transfer_end_ms, "b"),
+                (seg.c_dch_end_ms, "c"),
+                (seg.d_fach_end_ms, "d"),
+            ],
+        )
+    )
+    return 0
+
+
+def cmd_table3(args) -> int:
+    from .analysis.energy import percent_increase
+    from .apps import battery_monitor
+    from .core.middleware import PogoSimulation
+    from .device.radio import CARRIERS
+
+    def run_hour(carrier, with_pogo):
+        sim = PogoSimulation(seed=args.seed, carrier=carrier)
+        collector = sim.add_collector("cli")
+        device = sim.add_device(with_email_app=True)
+        sim.start()
+        sim.assign(collector, [device])
+        if with_pogo:
+            collector.node.deploy(battery_monitor.build_experiment(), [device.jid])
+        sim.run(duration_ms=10 * MINUTE)
+        device.phone.rail.reset_energy()
+        sim.run(hours=1)
+        return device.phone.rail.energy_joules
+
+    print(f"{'Carrier':<10} {'Without':>10} {'With':>10} {'Increase':>9}")
+    for name, carrier in CARRIERS.items():
+        base = run_hour(carrier, False)
+        pogo = run_hour(carrier, True)
+        print(
+            f"{name:<10} {base:>8.2f} J {pogo:>8.2f} J "
+            f"{percent_increase(base, pogo):>8.2f}%"
+        )
+    return 0
+
+
+def cmd_table4(args) -> int:
+    import dataclasses
+
+    from .apps.deployment_study import DEFAULT_SESSIONS, format_table, run_session
+
+    results = []
+    for index, spec in enumerate(DEFAULT_SESSIONS):
+        if args.scale < 0.999:
+            spec = dataclasses.replace(spec, days=max(3, round(spec.days * args.scale)))
+        result = run_session(spec, seed=args.seed + index)
+        results.append(result)
+        print(result.row(), flush=True)
+    print()
+    print(format_table(results))
+    return 0
+
+
+def cmd_anonytl(args) -> int:
+    from .anonytl import REPORT_CHANNEL, deploy_task, parse_task
+    from .core.middleware import PogoSimulation
+
+    with open(args.task_file, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    task = parse_task(text)
+    print(f"task {task.task_id}: {len(task.reports)} report statement(s)")
+
+    sim = PogoSimulation(seed=args.seed)
+    collector = sim.add_collector("cli")
+    device = sim.add_device(world_days=max(1, int(args.hours // 24) + 1), with_email_app=True)
+    sim.start()
+    context, accepted = deploy_task(collector.node, sim.admin, task)
+    print(f"deployed to: {accepted}")
+    sim.run(hours=args.hours)
+    reports = context.scripts["collect"].namespace["reports"]
+    print(f"{len(reports)} reports on '{REPORT_CHANNEL}' after {args.hours} h")
+    return 0
+
+
+def cmd_power_report(args) -> int:
+    from .apps import battery_monitor, localization
+    from .core.middleware import PogoSimulation
+    from .core.power_model import ScriptPowerModel
+    from .core.services import GeolocationBridge
+    from .world.geolocation import GeolocationService
+
+    sim = PogoSimulation(seed=args.seed)
+    collector = sim.add_collector("cli")
+    device = sim.add_device(world_days=1, with_email_app=True)
+    service = GeolocationService()
+    for group in device.user_world.places.values():
+        for place in group:
+            service.register_all(place.access_points)
+    collector.node.add_service(GeolocationBridge(service))
+    sim.start()
+    sim.assign(collector, [device])
+    collector.node.deploy(localization.build_experiment(), [device.jid])
+    collector.node.deploy(battery_monitor.build_experiment(), [device.jid])
+    sim.run(hours=args.hours)
+    print(ScriptPowerModel(device.node).report())
+    return 0
+
+
+_COMMANDS = {
+    "quickstart": cmd_quickstart,
+    "localization": cmd_localization,
+    "roguefinder": cmd_roguefinder,
+    "tail-trace": cmd_tail_trace,
+    "table3": cmd_table3,
+    "table4": cmd_table4,
+    "anonytl": cmd_anonytl,
+    "power-report": cmd_power_report,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,136 @@
+"""The Pogo script API: Table 1's eleven methods, and nothing else.
+
+Section 4.4: "in the interest of security ... we hide the Java standard
+library and of course all of the Android API from the application
+programmer.  Instead, we expose only a small programming interface."
+
+The reproduction's scripts are Python source executed in a namespace that
+contains exactly:
+
+==============================  ==========================================
+``setDescription(description)`` script metadata, shown in the device UI
+``setAutoStart(start)``         don't run until the user starts it
+``print(m1, ..., mN)``          debug output (viewable on the phone)
+``log(m1, ..., mN)``            append to the default persistent log
+``logTo(name, m1, ..., mN)``    append to a named persistent log
+``publish(channel, message)``   publish into the experiment's broker
+``subscribe(channel, fn[, p])`` subscribe; returns a ``Subscription``
+``freeze(object)``              persist one object (overwrites previous)
+``thaw()``                      retrieve the frozen object (or ``None``)
+``json(object)``                serialize to a JSON string
+``setTimeout(fn, delay)``       run ``fn`` after ``delay`` ms
+==============================  ==========================================
+
+plus a restricted set of builtins and the ``math`` module (the paper's
+JavaScript got ``Math`` for free; the clustering script needs it).  There
+is deliberately no ``__import__``, no file or network access, and no way
+to reach the host middleware objects.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Dict, Optional
+
+#: Builtins scripts may use.  ``__import__`` is the notable omission:
+#: without it, ``import`` statements raise ``ImportError`` inside scripts.
+SAFE_BUILTINS: Dict[str, Any] = {
+    name: __builtins__[name] if isinstance(__builtins__, dict) else getattr(__builtins__, name)
+    for name in (
+        "abs", "all", "any", "bool", "dict", "divmod", "enumerate", "filter",
+        "float", "frozenset", "hash", "int", "isinstance", "iter", "len",
+        "list", "map", "max", "min", "next", "pow", "range", "repr",
+        "reversed", "round", "set", "sorted", "str", "sum", "tuple", "zip",
+        "Exception", "ValueError", "TypeError", "KeyError", "IndexError",
+        "ZeroDivisionError", "ArithmeticError", "StopIteration",
+        # Class definitions inside scripts (the clustering script defines
+        # one); __build_class__ is what the `class` statement compiles to.
+        "__build_class__", "object", "staticmethod", "classmethod", "property",
+    )
+}
+
+
+def build_namespace(host) -> Dict[str, Any]:
+    """Construct the global namespace for one script host.
+
+    ``host`` is a :class:`repro.core.scripting.ScriptHost`; every API
+    function closes over it so scripts stay isolated from each other.
+    """
+
+    def setDescription(description: str) -> None:
+        host.description = str(description)
+
+    def setAutoStart(start: bool) -> None:
+        host.autostart = bool(start)
+
+    def _print(*messages: Any) -> None:
+        host.debug_lines.append(" ".join(str(m) for m in messages))
+
+    def log(*messages: Any) -> None:
+        logTo("default", *messages)
+
+    def logTo(log_name: str, *messages: Any) -> None:
+        host.logs.setdefault(str(log_name), []).append(
+            " ".join(str(m) for m in messages)
+        )
+
+    def publish(channel: str, message: Any) -> None:
+        host.api_publish(channel, message)
+
+    def subscribe(
+        channel: str,
+        fn: Callable[[Any], None],
+        parameters: Optional[Dict[str, Any]] = None,
+    ):
+        return host.api_subscribe(channel, fn, parameters)
+
+    def freeze(obj: Any) -> None:
+        host.api_freeze(obj)
+
+    def thaw() -> Any:
+        return host.api_thaw()
+
+    def json(obj: Any) -> str:
+        return host.api_json(obj)
+
+    def setTimeout(fn: Callable[[], None], delay: float):
+        return host.api_set_timeout(fn, delay)
+
+    namespace: Dict[str, Any] = {
+        "__builtins__": dict(SAFE_BUILTINS),
+        "__name__": f"<pogo-script {host.name}>",
+        "math": math,
+        "setDescription": setDescription,
+        "setAutoStart": setAutoStart,
+        "print": _print,
+        "log": log,
+        "logTo": logTo,
+        "publish": publish,
+        "subscribe": subscribe,
+        "freeze": freeze,
+        "thaw": thaw,
+        "json": json,
+        "setTimeout": setTimeout,
+    }
+    return namespace
+
+
+#: Number of public API methods — the paper advertises "only 11 methods".
+API_METHOD_COUNT = 11
+
+
+def api_method_names() -> list:
+    """The Table 1 method names (for documentation and tests)."""
+    return [
+        "setDescription",
+        "setAutoStart",
+        "print",
+        "log",
+        "logTo",
+        "publish",
+        "subscribe",
+        "freeze",
+        "thaw",
+        "json",
+        "setTimeout",
+    ]

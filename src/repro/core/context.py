@@ -1,0 +1,211 @@
+"""Device-side experiment contexts.
+
+Section 4.2: "Scripts belonging to a certain experiment run inside a
+so-called *context*, which acts as a sandbox; scripts can only
+communicate within the same experiment.  Each context has a counterpart
+on a remote node ... Each context has a *message broker* associated with
+it ... The brokers on either end synchronize with each other so that the
+publish-subscribe mechanism works seamlessly across the network
+boundary."
+
+A :class:`DeviceContext` therefore owns:
+
+* a broker (local scripts + sensor deliveries);
+* the deployed scripts of one experiment;
+* the synchronized view of the collector's subscriptions (*remote
+  proxies*): real :class:`~repro.core.broker.Subscription` objects with a
+  link owner tag and a no-op handler.  They exist so sensors see remote
+  interest (a collector subscribing to ``battery`` turns the device's
+  battery sensor on) while actual cross-network delivery is a single
+  forwarded ``pub`` per publish.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from .broker import Broker, Subscription
+from .deployment import (
+    OP_SUB_ADD,
+    OP_SUB_RELEASE,
+    OP_SUB_REMOVE,
+    OP_SUB_RENEW,
+    pub_op,
+    sub_add_op,
+    sub_change_op,
+)
+from .messages import copy_message
+from .scripting import ScriptHost
+
+#: Owner tag for remote-proxy subscriptions.
+LINK_OWNER = "link"
+
+
+def _noop(_message: Any) -> None:
+    """Handler for proxy subscriptions; forwarding happens out of band."""
+
+
+class DeviceContext:
+    """One experiment's sandbox on a device node."""
+
+    def __init__(self, node, experiment_id: str, collector_jid: str) -> None:
+        self.node = node
+        self.experiment_id = experiment_id
+        self.collector_jid = collector_jid
+        self.broker = Broker(name=f"{experiment_id}@{node.jid}")
+        self.scripts: Dict[str, ScriptHost] = {}
+        #: remote subscription id (collector side) -> proxy Subscription.
+        self.remote_subs: Dict[int, Subscription] = {}
+        self._remote_params: Dict[int, dict] = {}
+        #: Local script subscriptions are mirrored to the collector; map
+        #: local Subscription.id -> True once announced.
+        self._watching = False
+        self._watch_listener = self._on_local_sub_change
+        self.broker.watch_all(self._watch_listener)
+        self.forwarded_pubs = 0
+
+    # ------------------------------------------------------------------
+    # Scripts
+    # ------------------------------------------------------------------
+    def deploy_script(self, name: str, source: str) -> ScriptHost:
+        """Install or update a script (remote push, Section 3.2)."""
+        existing = self.scripts.get(name)
+        if existing is not None:
+            existing.update(source)
+            return existing
+        host = ScriptHost(self, name, source, watchdog_ms=self.node.watchdog_ms)
+        self.scripts[name] = host
+        host.load()
+        return host
+
+    def undeploy_script(self, name: str) -> bool:
+        host = self.scripts.pop(name, None)
+        if host is None:
+            return False
+        host.stop()
+        return True
+
+    def stop_all_scripts(self) -> None:
+        for host in self.scripts.values():
+            host.stop()
+
+    def reload_all_scripts(self) -> None:
+        """After a reboot: scripts restart from source; thaw() recovers
+        whatever they froze."""
+        for host in self.scripts.values():
+            try:
+                host.load()
+            except Exception:  # noqa: BLE001 - a broken script must not kill boot
+                pass
+
+    # ------------------------------------------------------------------
+    # Publishing
+    # ------------------------------------------------------------------
+    def publish_from_script(self, script: ScriptHost, channel: str, message: Any) -> None:
+        self.broker.publish(channel, message)
+        self._forward_if_remote_interest(channel, message)
+
+    def publish_internal(self, channel: str, message: Any) -> int:
+        """Sensor-manager publishes (sensors reach every context)."""
+        delivered = self.broker.publish(channel, message)
+        self._forward_if_remote_interest(channel, message)
+        return delivered
+
+    def _forward_if_remote_interest(self, channel: str, message: Any) -> None:
+        if any(
+            sub.owner == LINK_OWNER and sub.active
+            for sub in self.broker.subscriptions(channel)
+        ):
+            self.forwarded_pubs += 1
+            self.node.send_to(
+                self.collector_jid, pub_op(self.experiment_id, channel, message)
+            )
+
+    def deliver_remote(self, channel: str, message: Any) -> int:
+        """Deliver a pub that arrived from the collector to local scripts."""
+        delivered = 0
+        for sub in list(self.broker.subscriptions(channel)):
+            if sub.owner == LINK_OWNER:
+                continue
+            sub.delivery_count += 1
+            delivered += 1
+            sub.handler(copy_message(message))
+        return delivered
+
+    # ------------------------------------------------------------------
+    # Remote subscription synchronization (collector -> device)
+    # ------------------------------------------------------------------
+    def apply_sub_op(self, payload: dict) -> None:
+        op = payload["op"]
+        sub_id = int(payload["sub"])
+        if op == OP_SUB_ADD:
+            existing = self.remote_subs.pop(sub_id, None)
+            if existing is not None:
+                existing.remove()
+            proxy = self.broker.subscribe(
+                payload["channel"], _noop, payload.get("params") or {}, owner=LINK_OWNER
+            )
+            self.remote_subs[sub_id] = proxy
+        elif op == OP_SUB_RELEASE:
+            proxy = self.remote_subs.get(sub_id)
+            if proxy is not None:
+                proxy.release()
+        elif op == OP_SUB_RENEW:
+            proxy = self.remote_subs.get(sub_id)
+            if proxy is not None:
+                proxy.renew()
+        elif op == OP_SUB_REMOVE:
+            proxy = self.remote_subs.pop(sub_id, None)
+            if proxy is not None:
+                proxy.remove()
+        else:
+            raise ValueError(f"not a subscription op: {op!r}")
+
+    def clear_remote_subs(self) -> None:
+        """Volatile broker state dies with a reboot; the collector
+        re-announces its subscriptions on our next presence."""
+        for proxy in list(self.remote_subs.values()):
+            proxy.remove()
+        self.remote_subs.clear()
+
+    # ------------------------------------------------------------------
+    # Local subscription mirroring (device -> collector)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _is_local_plumbing(sub: Subscription) -> bool:
+        """Node-local subscriptions (instrumentation, services) are never
+        mirrored to the collector."""
+        return bool(sub.owner and (sub.owner.startswith("local:") or sub.owner.startswith("service:")))
+
+    def _on_local_sub_change(self, channel: str, sub: Subscription, change: str) -> None:
+        if sub.owner == LINK_OWNER or self._is_local_plumbing(sub):
+            return
+        if change == "added":
+            payload = sub_add_op(self.experiment_id, sub.id, channel, sub.parameters)
+        elif change == "released":
+            payload = sub_change_op(OP_SUB_RELEASE, self.experiment_id, sub.id)
+        elif change == "renewed":
+            payload = sub_change_op(OP_SUB_RENEW, self.experiment_id, sub.id)
+        else:
+            payload = sub_change_op(OP_SUB_REMOVE, self.experiment_id, sub.id)
+        self.node.send_to(self.collector_jid, payload)
+
+    def announce_local_subs(self) -> None:
+        """Re-announce every live local subscription (after reconnect)."""
+        for sub in self.broker.all_subscriptions():
+            if sub.owner == LINK_OWNER or sub.removed or self._is_local_plumbing(sub):
+                continue
+            self.node.send_to(
+                self.collector_jid,
+                sub_add_op(self.experiment_id, sub.id, sub.channel, sub.parameters),
+            )
+            if not sub.active:
+                self.node.send_to(
+                    self.collector_jid,
+                    sub_change_op(OP_SUB_RELEASE, self.experiment_id, sub.id),
+                )
+
+    def teardown(self) -> None:
+        self.stop_all_scripts()
+        self.clear_remote_subs()
+        self.broker.unwatch_all(self._watch_listener)

@@ -1,0 +1,77 @@
+"""Messages: trees of key/value pairs with a JSON wire format.
+
+Section 4.3: "Messages are represented as a tree of key/value pairs,
+which map directly onto JavaScript objects ... Messages are serialized to
+JSON notation when they are to be delivered to a remote node."
+
+In the Python reproduction messages are plain dicts/lists/scalars.  This
+module provides validation (so scripts cannot publish un-serializable
+objects and have them explode later inside the transport), canonical JSON
+encoding, wire-size accounting (Table 4's "Size" columns measure exactly
+these byte counts) and deep copying (local deliveries must not allow one
+subscriber to mutate what another receives).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+#: Types allowed at message leaves.
+_SCALARS = (str, int, float, bool, type(None))
+
+
+class MessageError(TypeError):
+    """Raised when a value cannot be used as a Pogo message."""
+
+
+def validate_message(value: Any, _path: str = "$") -> None:
+    """Ensure ``value`` is a JSON-able tree of key/value pairs.
+
+    Raises :class:`MessageError` naming the offending path otherwise.
+    """
+    if isinstance(value, _SCALARS):
+        return
+    if isinstance(value, dict):
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise MessageError(f"non-string key {key!r} at {_path}")
+            validate_message(item, f"{_path}.{key}")
+        return
+    if isinstance(value, (list, tuple)):
+        for index, item in enumerate(value):
+            validate_message(item, f"{_path}[{index}]")
+        return
+    raise MessageError(f"unsupported type {type(value).__name__} at {_path}")
+
+
+def to_json(value: Any) -> str:
+    """Serialize a message to compact, key-sorted JSON."""
+    validate_message(value)
+    return json.dumps(value, separators=(",", ":"), sort_keys=True, ensure_ascii=False)
+
+
+def from_json(text: str) -> Any:
+    """Parse a wire message."""
+    return json.loads(text)
+
+
+def message_size_bytes(value: Any) -> int:
+    """Wire size of a message in bytes (UTF-8 JSON)."""
+    return len(to_json(value).encode("utf-8"))
+
+
+def copy_message(value: Any) -> Any:
+    """Deep-copy a message tree (tuples become lists, as JSON would)."""
+    if isinstance(value, _SCALARS):
+        return value
+    if isinstance(value, dict):
+        return {key: copy_message(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [copy_message(item) for item in value]
+    raise MessageError(f"unsupported type {type(value).__name__}")
+
+
+def messages_equal(a: Any, b: Any) -> bool:
+    """Structural equality on the JSON representation."""
+    return to_json(a) == to_json(b)

@@ -1,0 +1,276 @@
+"""Pogo's scheduler: wake locks, alarms and a serialized task pool.
+
+Section 4.5: "The Pogo framework abstracts away the complexities of
+setting alarms and managing wake locks through a *scheduler* component
+that executes submitted tasks in a thread pool, and supports delayed
+execution. ... When there are no tasks to execute, the CPU can safely go
+to sleep."
+
+The simulation analogue: tasks run as kernel events with a Pogo wake lock
+held across each execution, and delayed tasks use CPU alarms so the
+device can sleep in between.  Two semantics from the paper are enforced
+on top:
+
+* **Per-key serialization.**  "the threads are synchronized so that only
+  a single thread will run code from a given script at any time" — tasks
+  submitted with the same ``serial_key`` run strictly in FIFO order, one
+  at a time.
+* **Error containment.**  A task that raises is recorded and reported to
+  an error listener, never propagated into the kernel loop.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+
+from ..sim.kernel import Kernel
+from ..device.cpu import Alarm, Cpu
+
+#: The wake-lock tag Pogo holds while running tasks.
+WAKE_LOCK_TAG = "pogo-scheduler"
+
+
+class ScheduledTask:
+    """Handle for a delayed task."""
+
+    def __init__(self) -> None:
+        self.cancelled = False
+        self.fired = False
+        self._alarm: Optional[Alarm] = None
+
+    def cancel(self) -> None:
+        self.cancelled = True
+        if self._alarm is not None:
+            self._alarm.cancel()
+
+
+class PogoScheduler:
+    """Runs middleware and script code with correct power behaviour."""
+
+    def __init__(self, kernel: Kernel, cpu: Cpu, name: str = "scheduler") -> None:
+        self.kernel = kernel
+        self.cpu = cpu
+        self.name = name
+        self.tasks_run = 0
+        self.task_errors = 0
+        #: Called with (serial_key, exception) when a task raises.
+        self.on_error: List[Callable[[Optional[str], BaseException], None]] = []
+        self._serial_queues: Dict[str, Deque[Tuple[Callable, tuple]]] = {}
+        self._serial_running: Dict[str, bool] = {}
+        self.stopped = False
+
+    # ------------------------------------------------------------------
+    def submit(self, fn: Callable[..., Any], *args: Any, serial_key: Optional[str] = None) -> None:
+        """Run a task as soon as possible, holding the Pogo wake lock."""
+        if self.stopped:
+            return
+        if serial_key is None:
+            self.cpu.acquire_wake_lock(WAKE_LOCK_TAG)
+            self.kernel.schedule(0.0, self._run_free, fn, args)
+        else:
+            queue = self._serial_queues.setdefault(serial_key, deque())
+            queue.append((fn, args))
+            self._pump_serial(serial_key)
+
+    def schedule(
+        self,
+        delay_ms: float,
+        fn: Callable[..., Any],
+        *args: Any,
+        serial_key: Optional[str] = None,
+    ) -> ScheduledTask:
+        """Run a task after ``delay_ms``, waking the CPU via an alarm."""
+        task = ScheduledTask()
+        if self.stopped:
+            task.cancelled = True
+            return task
+
+        def fire() -> None:
+            if task.cancelled or self.stopped:
+                return
+            task.fired = True
+            self.submit(fn, *args, serial_key=serial_key)
+
+        task._alarm = self.cpu.set_alarm(delay_ms, fire)
+        return task
+
+    def schedule_repeating(
+        self,
+        interval_ms: float,
+        fn: Callable[..., Any],
+        *args: Any,
+        serial_key: Optional[str] = None,
+        initial_delay_ms: Optional[float] = None,
+    ) -> ScheduledTask:
+        """Run a task at a fixed rate."""
+        task = ScheduledTask()
+        if self.stopped:
+            task.cancelled = True
+            return task
+
+        def fire() -> None:
+            if task.cancelled or self.stopped:
+                return
+            task.fired = True
+            self.submit(fn, *args, serial_key=serial_key)
+
+        task._alarm = self.cpu.set_repeating_alarm(
+            interval_ms, fire, initial_delay_ms=initial_delay_ms
+        )
+        return task
+
+    def stop(self) -> None:
+        """Stop accepting work (middleware shutdown)."""
+        self.stopped = True
+        self._serial_queues.clear()
+        self._serial_running.clear()
+
+    def restart(self) -> None:
+        """Accept work again (after a reboot)."""
+        self.stopped = False
+
+    # ------------------------------------------------------------------
+    def _run_free(self, fn: Callable, args: tuple) -> None:
+        try:
+            self._execute(fn, args, None)
+        finally:
+            self.cpu.release_wake_lock(WAKE_LOCK_TAG)
+
+    def _pump_serial(self, key: str) -> None:
+        if self._serial_running.get(key) or self.stopped:
+            return
+        queue = self._serial_queues.get(key)
+        if not queue:
+            return
+        self._serial_running[key] = True
+        fn, args = queue.popleft()
+        self.cpu.acquire_wake_lock(WAKE_LOCK_TAG)
+        self.kernel.schedule(0.0, self._run_serial, key, fn, args)
+
+    def _run_serial(self, key: str, fn: Callable, args: tuple) -> None:
+        try:
+            self._execute(fn, args, key)
+        finally:
+            self.cpu.release_wake_lock(WAKE_LOCK_TAG)
+            self._serial_running[key] = False
+            self._pump_serial(key)
+
+    def _execute(self, fn: Callable, args: tuple, key: Optional[str]) -> None:
+        self.tasks_run += 1
+        self.cpu.note_activity()
+        try:
+            fn(*args)
+        except BaseException as exc:  # noqa: BLE001 - containment is the point
+            self.task_errors += 1
+            for listener in list(self.on_error):
+                listener(key, exc)
+
+
+class SimpleScheduler:
+    """Scheduler for collector nodes (a PC: no wake locks, no sleep).
+
+    Offers the same interface as :class:`PogoScheduler` so script hosts
+    and sensors are agnostic to which node type they run on.
+    """
+
+    def __init__(self, kernel: Kernel, name: str = "wired-scheduler") -> None:
+        self.kernel = kernel
+        self.name = name
+        self.tasks_run = 0
+        self.task_errors = 0
+        self.on_error: List[Callable[[Optional[str], BaseException], None]] = []
+        self._serial_queues: Dict[str, Deque[Tuple[Callable, tuple]]] = {}
+        self._serial_running: Dict[str, bool] = {}
+        self.stopped = False
+
+    def submit(self, fn: Callable[..., Any], *args: Any, serial_key: Optional[str] = None) -> None:
+        if self.stopped:
+            return
+        if serial_key is None:
+            self.kernel.schedule(0.0, self._run, fn, args, None)
+        else:
+            queue = self._serial_queues.setdefault(serial_key, deque())
+            queue.append((fn, args))
+            self._pump_serial(serial_key)
+
+    def schedule(
+        self, delay_ms: float, fn: Callable[..., Any], *args: Any, serial_key: Optional[str] = None
+    ) -> ScheduledTask:
+        task = ScheduledTask()
+        if self.stopped:
+            task.cancelled = True
+            return task
+
+        def fire() -> None:
+            if not task.cancelled and not self.stopped:
+                task.fired = True
+                self.submit(fn, *args, serial_key=serial_key)
+
+        handle = self.kernel.schedule(delay_ms, fire)
+        task._alarm = _HandleAlarm(handle)
+        return task
+
+    def schedule_repeating(
+        self,
+        interval_ms: float,
+        fn: Callable[..., Any],
+        *args: Any,
+        serial_key: Optional[str] = None,
+        initial_delay_ms: Optional[float] = None,
+    ) -> ScheduledTask:
+        if interval_ms <= 0:
+            raise ValueError("interval must be positive")
+        task = ScheduledTask()
+        if self.stopped:
+            task.cancelled = True
+            return task
+
+        def fire() -> None:
+            if task.cancelled or self.stopped:
+                return
+            task.fired = True
+            task._alarm = _HandleAlarm(self.kernel.schedule(interval_ms, fire))
+            self.submit(fn, *args, serial_key=serial_key)
+
+        first = interval_ms if initial_delay_ms is None else initial_delay_ms
+        task._alarm = _HandleAlarm(self.kernel.schedule(first, fire))
+        return task
+
+    def stop(self) -> None:
+        self.stopped = True
+        self._serial_queues.clear()
+        self._serial_running.clear()
+
+    def _pump_serial(self, key: str) -> None:
+        if self._serial_running.get(key) or self.stopped:
+            return
+        queue = self._serial_queues.get(key)
+        if not queue:
+            return
+        self._serial_running[key] = True
+        fn, args = queue.popleft()
+        self.kernel.schedule(0.0, self._run, fn, args, key)
+
+    def _run(self, fn: Callable, args: tuple, key: Optional[str]) -> None:
+        self.tasks_run += 1
+        try:
+            fn(*args)
+        except BaseException as exc:  # noqa: BLE001
+            self.task_errors += 1
+            for listener in list(self.on_error):
+                listener(key, exc)
+        finally:
+            if key is not None:
+                self._serial_running[key] = False
+                self._pump_serial(key)
+
+
+class _HandleAlarm:
+    """Adapts a kernel EventHandle to the Alarm.cancel() interface."""
+
+    def __init__(self, handle) -> None:
+        self._handle = handle
+
+    def cancel(self) -> None:
+        self._handle.cancel()

@@ -1,0 +1,300 @@
+"""Script hosting: sandboxed execution, watchdog, freeze/thaw, lifecycle.
+
+Pogo experiments are *source text* pushed to remote nodes and executed in
+a sandboxed runtime (Rhino in the paper, a restricted ``exec`` here — see
+:mod:`repro.core.api` for exactly what scripts can touch).  This module
+implements the host around a running script:
+
+* **Loading** — the source is executed top-to-bottom (running
+  ``setDescription``/``setAutoStart`` and defining functions); if it
+  defines ``start()`` and autostart is on, ``start()`` is invoked.
+* **Serialization** — all calls into one script (subscription handlers,
+  ``setTimeout`` callbacks, ``start``) are funneled through the node
+  scheduler with the script's serial key: "only a single thread will run
+  code from a given script at any time" (Section 4.5).
+* **Watchdog** — "all calls to JavaScript functions by the framework must
+  complete within a certain timeframe.  If the JavaScript function does
+  not return in time, it is interrupted and an exception is thrown.  The
+  default timeout is set to 100ms."  Implemented with a tracing hook that
+  aborts the script frame when its wall-clock budget is exceeded.
+* **freeze/thaw** — one persisted object per script, surviving script
+  stop/start cycles, updates and reboots (Section 4.4; added *because* of
+  the data loss observed in Section 5.3).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+from .api import build_namespace
+from .messages import from_json, to_json
+
+#: Default watchdog budget, from the paper.
+DEFAULT_WATCHDOG_MS = 100.0
+
+
+class ScriptError(Exception):
+    """Base class for script-level failures."""
+
+
+class ScriptTimeoutError(ScriptError):
+    """A script call exceeded its watchdog budget."""
+
+
+class Watchdog:
+    """Interrupts script code that runs past its budget.
+
+    Uses ``sys.settrace``: while a guarded call is on the stack, every
+    line event checks the deadline and raises
+    :class:`ScriptTimeoutError` from inside the script frame, which is
+    the closest Python analogue to Rhino's instruction-count interrupts.
+    If a tracer is already installed (debugger, coverage), the watchdog
+    degrades to post-hoc detection: the call completes but the violation
+    is still reported.
+    """
+
+    def __init__(self, timeout_ms: float = DEFAULT_WATCHDOG_MS) -> None:
+        self.timeout_ms = timeout_ms
+        self.violations = 0
+
+    #: Frames deeper than this below the guarded call get no per-line
+    #: checks (only per-call checks).  Keeps hot helper code at native
+    #: speed while still interrupting loops in handler-level code.
+    LINE_TRACE_DEPTH = 2
+
+    def guard(self, fn: Callable[..., Any], *args: Any) -> Any:
+        timeout_s = self.timeout_ms / 1000.0
+        deadline = time.perf_counter() + timeout_s
+        preemptive = sys.gettrace() is None
+        root_frame = sys._getframe()
+
+        def over_budget() -> None:
+            self.violations += 1
+            raise ScriptTimeoutError(
+                f"script call exceeded {self.timeout_ms:.0f} ms watchdog budget"
+            )
+
+        def line_tracer(frame, event, arg):
+            if event == "line" and time.perf_counter() > deadline:
+                over_budget()
+            return line_tracer
+
+        def tracer(frame, event, arg):
+            # Global tracer: receives only 'call' events.  Every function
+            # call checks the deadline; line-level checks apply only near
+            # the top of the script's stack (hot leaf helpers run
+            # untraced, at full speed).
+            if time.perf_counter() > deadline:
+                over_budget()
+            depth, walker = 0, frame.f_back
+            while walker is not None and walker is not root_frame and depth <= self.LINE_TRACE_DEPTH:
+                walker = walker.f_back
+                depth += 1
+            return line_tracer if depth < self.LINE_TRACE_DEPTH else None
+
+        if preemptive:
+            sys.settrace(tracer)
+        started = time.perf_counter()
+        try:
+            result = fn(*args)
+        finally:
+            if preemptive:
+                sys.settrace(None)
+        if not preemptive and time.perf_counter() - started > timeout_s:
+            self.violations += 1
+            raise ScriptTimeoutError(
+                f"script call exceeded {self.timeout_ms:.0f} ms watchdog budget (post-hoc)"
+            )
+        return result
+
+
+class ScriptHost:
+    """One deployed script inside a context."""
+
+    def __init__(
+        self,
+        context,
+        name: str,
+        source: str,
+        watchdog_ms: float = DEFAULT_WATCHDOG_MS,
+    ) -> None:
+        self.context = context
+        self.name = name
+        self.source = source
+        self.watchdog = Watchdog(watchdog_ms)
+
+        self.description = ""
+        self.autostart = True
+        self.loaded = False
+        self.running = False
+        self.load_count = 0
+
+        self.debug_lines: List[str] = []
+        self.logs: Dict[str, List[str]] = {}
+        self.errors: List[BaseException] = []
+        self.namespace: Dict[str, Any] = {}
+        self._timers: List[Any] = []
+
+        # Resource accounting (Section 6 future work: "power modelling to
+        # estimate the resource consumption of individual scripts").
+        self.invocations = 0
+        self.published_messages = 0
+        self.published_bytes = 0
+        self.timers_set = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def serial_key(self) -> str:
+        return f"{self.context.experiment_id}/{self.name}"
+
+    @property
+    def owner_key(self) -> str:
+        """Owner tag for broker subscriptions (cleaned up on stop)."""
+        return f"script:{self.name}"
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def load(self) -> None:
+        """Execute the script body; call ``start()`` if autostart is on."""
+        if self.running:
+            self.stop()
+        self.namespace = build_namespace(self)
+        self.load_count += 1
+        self.running = True
+        code = compile(self.source, f"<script {self.name}>", "exec")
+        try:
+            self.watchdog.guard(_exec_in, code, self.namespace)
+        except BaseException as exc:  # noqa: BLE001 - report, stay contained
+            self.errors.append(exc)
+            self.running = False
+            raise ScriptError(f"script {self.name!r} failed to load: {exc!r}") from exc
+        self.loaded = True
+        start = self.namespace.get("start")
+        if self.autostart and callable(start):
+            self.context.node.scheduler.submit(
+                self.guarded_call, start, serial_key=self.serial_key
+            )
+
+    def start(self) -> None:
+        """Explicit user start for non-autostart scripts."""
+        if not self.loaded:
+            self.load()
+            if self.autostart:
+                return
+        start = self.namespace.get("start")
+        self.running = True
+        if callable(start):
+            self.context.node.scheduler.submit(
+                self.guarded_call, start, serial_key=self.serial_key
+            )
+
+    def stop(self) -> None:
+        """Stop the script: drop subscriptions and timers, keep storage."""
+        self.running = False
+        for timer in self._timers:
+            timer.cancel()
+        self._timers.clear()
+        self.context.broker.remove_owned_by(self.owner_key)
+
+    def update(self, new_source: str) -> None:
+        """Replace the script with a new version (remote redeployment).
+
+        The frozen object survives, which is how post-deployment Pogo
+        avoids losing cluster state across updates (Section 5.3).
+        """
+        self.stop()
+        self.source = new_source
+        self.load()
+
+    # ------------------------------------------------------------------
+    # Guarded calls
+    # ------------------------------------------------------------------
+    def guarded_call(self, fn: Callable, *args: Any) -> None:
+        """Run script code under the watchdog; contain its errors."""
+        if not self.running:
+            return
+        self.invocations += 1
+        try:
+            self.watchdog.guard(fn, *args)
+        except BaseException as exc:  # noqa: BLE001
+            self.errors.append(exc)
+
+    # ------------------------------------------------------------------
+    # API backends (called from the namespace built by repro.core.api)
+    # ------------------------------------------------------------------
+    def api_publish(self, channel: str, message: Any) -> None:
+        self.published_messages += 1
+        self.published_bytes += _cheap_size(message)
+        self.context.publish_from_script(self, channel, message)
+
+    def api_subscribe(self, channel: str, fn: Callable, parameters: Optional[dict]):
+        def handler(message: Any) -> None:
+            self.context.node.scheduler.submit(
+                self.guarded_call, fn, message, serial_key=self.serial_key
+            )
+
+        return self.context.broker.subscribe(
+            channel, handler, parameters, owner=self.owner_key
+        )
+
+    def api_freeze(self, obj: Any) -> None:
+        # Hot path: scripts may freeze on every sample.  json.dumps does
+        # the type policing itself (raises TypeError on non-JSON values),
+        # so the separate validation walk of to_json() is skipped.
+        self.context.node.freeze_store.put(self.serial_key, json.dumps(obj))
+
+    def api_thaw(self) -> Any:
+        stored = self.context.node.freeze_store.get(self.serial_key)
+        return from_json(stored) if stored is not None else None
+
+    def api_json(self, obj: Any) -> str:
+        return to_json(obj)
+
+    def api_set_timeout(self, fn: Callable, delay_ms: float):
+        self.timers_set += 1
+        timer = self.context.node.scheduler.schedule(
+            float(delay_ms), self.guarded_call, fn, serial_key=self.serial_key
+        )
+        self._timers.append(timer)
+        return timer
+
+
+def _cheap_size(message: Any) -> int:
+    """Fast wire-size estimate for accounting (exact JSON is computed
+    later by the transport; this avoids double serialization)."""
+    try:
+        return len(json.dumps(message))
+    except (TypeError, ValueError):
+        return 0
+
+
+class FreezeStore:
+    """Per-node persistent storage for frozen script objects.
+
+    Keyed by the script's serial key; "each script can have only one such
+    object at any given time, and freeze will always overwrite any
+    preexisting data" (Section 4.4).  Survives reboots (flash).
+    """
+
+    def __init__(self) -> None:
+        self._data: Dict[str, str] = {}
+
+    def put(self, key: str, json_text: str) -> None:
+        self._data[key] = json_text
+
+    def get(self, key: str) -> Optional[str]:
+        return self._data.get(key)
+
+    def delete(self, key: str) -> None:
+        self._data.pop(key, None)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+
+def _exec_in(code, namespace: Dict[str, Any]) -> None:
+    exec(code, namespace)  # noqa: S102 - the sandbox is the namespace

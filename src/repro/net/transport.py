@@ -1,0 +1,229 @@
+"""Client transports: device (over phone radios) and wired (collector).
+
+The device transport owns the behaviour Section 4.6 describes:
+
+* it keeps a session open to the XMPP server over the phone's active
+  interface;
+* it "detects, using the Android API, when the active network interface
+  changes and automatically reconnects on the new interface" — modelled
+  via the phone's interface-change listener plus a reconnection delay
+  (DNS + TCP + TLS + XMPP handshake) and a handshake transfer that costs
+  real radio energy;
+* sends/receives are physical transfers on the modem or Wi-Fi radio, so
+  every stanza has an energy consequence, and receiving data wakes the
+  CPU (which is also what lets the tail detector piggyback acks on
+  incoming pushes).
+
+The transport deliberately does *not* decide **when** to send: Pogo's
+buffering and tail synchronization (``repro.core``) own that policy.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from ..sim.kernel import Kernel, SECOND
+from ..core.messages import message_size_bytes
+from .xmpp import Session, XmppServer
+
+
+class TransportError(Exception):
+    """Raised when a send is attempted with no usable connection."""
+
+
+class WiredTransport:
+    """Collector-side client: a PC on a wired connection, always on."""
+
+    def __init__(self, kernel: Kernel, server: XmppServer, jid: str) -> None:
+        self.kernel = kernel
+        self.server = server
+        self.jid = jid
+        self.on_stanza: List[Callable[[str, dict], None]] = []
+        self.on_connected: List[Callable[[], None]] = []
+        self._session: Optional[Session] = None
+        self.stanzas_sent = 0
+        server.register(jid)
+
+    def start(self) -> None:
+        self._session = self.server.connect(self.jid, self._deliver)
+        for listener in list(self.on_connected):
+            listener()
+
+    @property
+    def connected(self) -> bool:
+        return self._session is not None and self._session.alive
+
+    def send(self, to_jid: str, stanza: dict, on_complete: Optional[Callable[[bool], None]] = None) -> None:
+        if not self.connected:
+            raise TransportError(f"{self.jid}: not connected")
+        self.stanzas_sent += 1
+        self.server.submit(self.jid, to_jid, stanza)
+        if on_complete is not None:
+            self.kernel.schedule(0.0, on_complete, True)
+
+    def _deliver(self, stanza: dict) -> None:
+        from_jid = stanza.get("_from", "")
+        for listener in list(self.on_stanza):
+            listener(from_jid, stanza)
+
+
+class DeviceTransport:
+    """Phone-side client: connects over whatever interface is active."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        server: XmppServer,
+        jid: str,
+        phone,
+        reconnect_delay_ms: float = 4 * SECOND,
+        retry_interval_ms: float = 30 * SECOND,
+        handshake_tx_bytes: int = 1_500,
+        handshake_rx_bytes: int = 3_000,
+    ) -> None:
+        self.kernel = kernel
+        self.server = server
+        self.jid = jid
+        self.phone = phone
+        self.reconnect_delay_ms = reconnect_delay_ms
+        self.retry_interval_ms = retry_interval_ms
+        self.handshake_tx_bytes = handshake_tx_bytes
+        self.handshake_rx_bytes = handshake_rx_bytes
+
+        self.on_stanza: List[Callable[[str, dict], None]] = []
+        self.on_connected: List[Callable[[], None]] = []
+        self._session: Optional[Session] = None
+        self._session_interface: Optional[str] = None
+        self._connecting = False
+        self._started = False
+        self.connect_count = 0
+        self.send_failures = 0
+        self.stanzas_sent = 0
+
+        server.register(jid)
+        phone.on_interface_change.append(self._interface_changed)
+        phone.on_boot.append(self._on_boot)
+        phone.on_shutdown.append(self._on_shutdown)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        self._started = True
+        self._try_connect()
+
+    @property
+    def connected(self) -> bool:
+        return (
+            self._session is not None
+            and self._session.alive
+            and self.phone.alive
+            and self.phone.active_interface() == self._session_interface
+            and self._session_interface is not None
+        )
+
+    def _interface_changed(self, interface: Optional[str]) -> None:
+        if not self._started:
+            return
+        # The old session is now stale; the server does not know yet —
+        # that is the message-loss window.  Reconnect on the new
+        # interface after the handshake delay.
+        if interface is not None:
+            self._schedule_connect(self.reconnect_delay_ms)
+
+    def _on_boot(self) -> None:
+        if self._started:
+            self._schedule_connect(self.reconnect_delay_ms)
+
+    def _on_shutdown(self) -> None:
+        self._session = None
+        self._session_interface = None
+
+    def _schedule_connect(self, delay_ms: float) -> None:
+        if self._connecting:
+            return
+        self._connecting = True
+        self.kernel.schedule(delay_ms, self._try_connect_guarded)
+
+    def _try_connect_guarded(self) -> None:
+        self._connecting = False
+        self._try_connect()
+
+    def _try_connect(self) -> None:
+        if self.connected or not self.phone.alive:
+            return
+        interface = self.phone.active_interface()
+        if interface is None:
+            return
+        # The XMPP handshake is itself radio traffic.
+        try:
+            self.phone.transfer(
+                tx_bytes=self.handshake_tx_bytes,
+                rx_bytes=self.handshake_rx_bytes,
+                duration_hint_ms=600.0,
+                on_complete=lambda ok: self._handshake_done(ok, interface),
+                label=f"{self.jid}:handshake",
+            )
+        except Exception:
+            self._schedule_connect(self.retry_interval_ms)
+
+    def _handshake_done(self, success: bool, interface: str) -> None:
+        if not success or self.phone.active_interface() != interface:
+            self._schedule_connect(self.retry_interval_ms)
+            return
+        self.connect_count += 1
+        self._session_interface = interface
+        self._session = self.server.connect(self.jid, self._deliver, self._physical_rx)
+        for listener in list(self.on_connected):
+            listener()
+
+    # ------------------------------------------------------------------
+    # Data path
+    # ------------------------------------------------------------------
+    def send(self, to_jid: str, stanza: dict, on_complete: Optional[Callable[[bool], None]] = None) -> None:
+        """Physically transmit a stanza; raises when disconnected."""
+        if not self.connected:
+            raise TransportError(f"{self.jid}: not connected")
+        size = message_size_bytes(stanza)
+        session = self._session
+
+        def transfer_done(success: bool) -> None:
+            if success and self.connected and self._session is session:
+                self.stanzas_sent += 1
+                self.server.submit(self.jid, to_jid, stanza)
+            else:
+                self.send_failures += 1
+                success = False
+            if on_complete is not None:
+                on_complete(success)
+
+        self.phone.transfer(
+            tx_bytes=size,
+            on_complete=transfer_done,
+            label=f"{self.jid}:send",
+        )
+
+    def _physical_rx(self, size: int, complete: Callable[[bool], None]) -> None:
+        """Server-side downlink into this device (installed per session)."""
+        if (
+            not self.phone.alive
+            or self.phone.active_interface() != self._session_interface
+        ):
+            complete(False)
+            return
+
+        def rx_done(success: bool) -> None:
+            if success:
+                # Incoming data wakes the device, like an Android push.
+                self.phone.cpu.wake("push")
+            complete(success)
+
+        try:
+            self.phone.transfer(rx_bytes=size, on_complete=rx_done, label=f"{self.jid}:recv")
+        except Exception:
+            complete(False)
+
+    def _deliver(self, stanza: dict) -> None:
+        from_jid = stanza.get("_from", "")
+        for listener in list(self.on_stanza):
+            listener(from_jid, stanza)

@@ -1,0 +1,246 @@
+"""An XMPP-style message switchboard with rosters and realistic loss.
+
+Pogo uses an off-the-shelf instant-messaging server (Openfire) purely as a
+"communications switchboard" between device and collector nodes (Sections
+3.1 and 4.6).  The properties of XMPP that Pogo relies on — and the ones
+it has to work around — are both reproduced here:
+
+* **JIDs and rosters.**  Device↔collector associations are roster
+  entries, managed by the testbed administrator.  The server refuses to
+  route between parties that are not on each other's roster.
+* **Offline storage.**  Stanzas for a JID with no session are queued and
+  delivered on the next connect (standard XMPP behaviour).
+* **Stale-session loss.**  "Mobile phones frequently switch between
+  wireless interfaces ... causing stale TCP sessions and even dropped
+  messages."  When a phone's interface goes away, the server keeps
+  routing into the dead session until it notices (keepalive timeout) or
+  the client reconnects; stanzas sent into that window are *lost*.  This
+  is the loss mode Pogo's end-to-end acknowledgements exist to repair.
+
+Physical delivery to a device costs radio energy: the server-side session
+delegates to the phone's active interface, so pushes from the collector
+drag the modem through ramp-ups and tails like any other traffic.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from typing import Any, Callable, Deque, Dict, List, Optional, Set, Tuple
+
+from ..sim.kernel import Kernel, SECOND
+from ..sim.trace import TraceRecorder
+from ..core.messages import message_size_bytes
+
+
+class RoutingError(Exception):
+    """Raised for routing without a roster association or unknown JIDs."""
+
+
+_session_ids = itertools.count(1)
+
+
+class Session:
+    """One client's connection to the server.
+
+    Session ids are process-global but purely cosmetic (trace labels);
+    nothing routes or branches on them.
+    """
+
+    def __init__(self, jid: str, deliver: Callable[[dict], None], physical_rx: Optional[Callable] = None):
+        self.id = next(_session_ids)
+        self.jid = jid
+        #: Upcall into the client with a received stanza.
+        self.deliver = deliver
+        #: Optional physical receive hook: called with (size_bytes,
+        #: on_complete) to model the radio cost of the downlink.  When the
+        #: physical layer fails (dead interface) the stanza is lost.
+        self.physical_rx = physical_rx
+        self.alive = True
+
+    def close(self) -> None:
+        self.alive = False
+
+
+class XmppServer:
+    """The central switchboard."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        latency_ms: float = 80.0,
+        keepalive_timeout_ms: float = 60 * SECOND,
+        trace: Optional[TraceRecorder] = None,
+    ) -> None:
+        self.kernel = kernel
+        self.latency_ms = latency_ms
+        self.keepalive_timeout_ms = keepalive_timeout_ms
+        self.trace = trace
+        self._accounts: Set[str] = set()
+        self._rosters: Dict[str, Set[str]] = {}
+        self._sessions: Dict[str, Session] = {}
+        self._offline: Dict[str, Deque[dict]] = {}
+        self._last_heard: Dict[str, float] = {}
+        self.stanzas_routed = 0
+        self.stanzas_lost = 0
+        self.stanzas_stored_offline = 0
+
+    # ------------------------------------------------------------------
+    # Accounts and rosters (the administrator's surface, Section 3.1)
+    # ------------------------------------------------------------------
+    def register(self, jid: str) -> None:
+        self._accounts.add(jid)
+        self._rosters.setdefault(jid, set())
+
+    def registered(self, jid: str) -> bool:
+        return jid in self._accounts
+
+    def add_roster_pair(self, a: str, b: str) -> None:
+        """Associate two JIDs (the admin assigning a device to a researcher)."""
+        for jid in (a, b):
+            if jid not in self._accounts:
+                raise RoutingError(f"unknown JID: {jid}")
+        self._rosters[a].add(b)
+        self._rosters[b].add(a)
+
+    def remove_roster_pair(self, a: str, b: str) -> None:
+        self._rosters.get(a, set()).discard(b)
+        self._rosters.get(b, set()).discard(a)
+
+    def roster(self, jid: str) -> Set[str]:
+        return set(self._rosters.get(jid, set()))
+
+    # ------------------------------------------------------------------
+    # Sessions
+    # ------------------------------------------------------------------
+    def connect(
+        self,
+        jid: str,
+        deliver: Callable[[dict], None],
+        physical_rx: Optional[Callable] = None,
+    ) -> Session:
+        """Open a session; replaces (and kills) any existing one."""
+        if jid not in self._accounts:
+            raise RoutingError(f"unknown JID: {jid}")
+        old = self._sessions.get(jid)
+        if old is not None:
+            old.close()
+        session = Session(jid, deliver, physical_rx)
+        self._sessions[jid] = session
+        self._last_heard[jid] = self.kernel.now
+        if self.trace is not None:
+            self.trace.record("xmpp", "connect", jid=jid, session=session.id)
+        self._drain_offline(jid, session)
+        # XMPP presence: roster peers with live sessions learn that this
+        # JID is (back) online.  Collectors use this to re-synchronize
+        # subscription tables after a device reboot.
+        for peer in self._rosters.get(jid, set()):
+            peer_session = self._sessions.get(peer)
+            if peer_session is not None and self._session_considered_alive(peer_session):
+                self.kernel.schedule(
+                    self.latency_ms,
+                    self._deliver_via,
+                    peer_session,
+                    {"kind": "presence", "jid": jid, "available": True},
+                )
+        return session
+
+    def disconnect(self, session: Session) -> None:
+        """Graceful disconnect: the server knows immediately."""
+        session.close()
+        if self._sessions.get(session.jid) is session:
+            del self._sessions[session.jid]
+        if self.trace is not None:
+            self.trace.record("xmpp", "disconnect", jid=session.jid, session=session.id)
+
+    def session_of(self, jid: str) -> Optional[Session]:
+        return self._sessions.get(jid)
+
+    def note_heard_from(self, jid: str) -> None:
+        """Any inbound traffic refreshes the liveness clock."""
+        self._last_heard[jid] = self.kernel.now
+
+    def _session_considered_alive(self, session: Session) -> bool:
+        """Whether the server still believes this session works.
+
+        An idle TCP connection stays up indefinitely; the server only
+        learns a session is dead when a delivery into it fails (stale
+        interface) or the client reconnects/disconnects.  Stanzas sent
+        into a not-yet-detected-dead session are *lost* — the window the
+        paper's end-to-end acks repair.
+        """
+        return session.alive
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def submit(self, from_jid: str, to_jid: str, stanza: dict) -> None:
+        """Accept a stanza from ``from_jid`` for routing to ``to_jid``."""
+        if to_jid not in self._accounts:
+            raise RoutingError(f"unknown destination JID: {to_jid}")
+        if to_jid not in self._rosters.get(from_jid, set()):
+            raise RoutingError(f"{from_jid} and {to_jid} are not associated")
+        self.note_heard_from(from_jid)
+        stamped = dict(stanza)
+        stamped["_from"] = from_jid
+        self.kernel.schedule(self.latency_ms, self._route, from_jid, to_jid, stamped)
+
+    def _route(self, from_jid: str, to_jid: str, stanza: dict) -> None:
+        self.stanzas_routed += 1
+        session = self._sessions.get(to_jid)
+        if session is None:
+            self._store_offline(to_jid, stanza)
+            return
+        if not self._session_considered_alive(session):
+            # Keepalive expired: tear the session down and store instead.
+            self.disconnect(session)
+            self._store_offline(to_jid, stanza)
+            return
+        self._deliver_via(session, stanza)
+
+    def _deliver_via(self, session: Session, stanza: dict) -> None:
+        size = message_size_bytes(stanza)
+        if session.physical_rx is None:
+            # Wired client (collector PC): delivery always succeeds.
+            session.deliver(stanza)
+            return
+
+        def complete(success: bool) -> None:
+            if success and session.alive:
+                session.deliver(stanza)
+            else:
+                # Sent into a dead interface: the loss the paper observed.
+                # The failed write also reveals the session is gone, so
+                # subsequent stanzas go to offline storage instead.
+                self._lose(session, stanza)
+
+        try:
+            session.physical_rx(size, complete)
+        except Exception:
+            self._lose(session, stanza)
+
+    def _lose(self, session: Session, stanza: dict) -> None:
+        self.stanzas_lost += 1
+        if self.trace is not None:
+            self.trace.record("xmpp", "stanza_lost", jid=session.jid)
+        if self._sessions.get(session.jid) is session:
+            self.disconnect(session)
+
+    # ------------------------------------------------------------------
+    # Offline storage
+    # ------------------------------------------------------------------
+    def _store_offline(self, jid: str, stanza: dict) -> None:
+        self.stanzas_stored_offline += 1
+        self._offline.setdefault(jid, deque()).append(stanza)
+
+    def _drain_offline(self, jid: str, session: Session) -> None:
+        queue = self._offline.get(jid)
+        if not queue:
+            return
+        pending = list(queue)
+        queue.clear()
+        for stanza in pending:
+            self.kernel.schedule(self.latency_ms, self._deliver_via, session, stanza)
+
+    def offline_count(self, jid: str) -> int:
+        return len(self._offline.get(jid, ()))

@@ -1,0 +1,26 @@
+"""Discrete-event simulation substrate (kernel, processes, randomness, traces)."""
+
+from .kernel import DAY, HOUR, MINUTE, SECOND, EventHandle, Kernel, SimulationError
+from .process import Process, Signal, spawn
+from .randomness import RandomStreams, derive_seed
+from .trace import Interval, IntervalTrack, TimeSeries, TraceEvent, TraceRecorder
+
+__all__ = [
+    "DAY",
+    "HOUR",
+    "MINUTE",
+    "SECOND",
+    "EventHandle",
+    "Kernel",
+    "SimulationError",
+    "Process",
+    "Signal",
+    "spawn",
+    "RandomStreams",
+    "derive_seed",
+    "Interval",
+    "IntervalTrack",
+    "TimeSeries",
+    "TraceEvent",
+    "TraceRecorder",
+]

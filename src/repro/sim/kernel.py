@@ -1,0 +1,197 @@
+"""Discrete-event simulation kernel.
+
+The kernel is the substrate everything else in this reproduction runs on.
+The paper deployed Pogo on real Android phones; we do not have those, so
+the phone hardware (CPU sleep states, the 3G modem, the battery) and the
+passage of time are simulated.  The kernel provides:
+
+* a simulated clock in **milliseconds** (`Kernel.now`),
+* an event queue with stable FIFO ordering for simultaneous events,
+* cancellable timers (`Kernel.schedule` returns a handle), and
+* a run loop with optional horizon (`run_until`) and step limits.
+
+Determinism: the kernel itself is fully deterministic.  All randomness in
+the simulation goes through :mod:`repro.sim.randomness` so that a single
+seed reproduces an entire experiment bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional, Tuple
+
+#: Convenience time constants, all in milliseconds.
+MILLISECOND = 1.0
+SECOND = 1000.0
+MINUTE = 60 * SECOND
+HOUR = 60 * MINUTE
+DAY = 24 * HOUR
+
+
+class SimulationError(Exception):
+    """Raised for kernel misuse (negative delays, running a stopped kernel)."""
+
+
+class EventHandle:
+    """Handle for a scheduled event; allows cancellation and inspection.
+
+    Instances are returned by :meth:`Kernel.schedule` and
+    :meth:`Kernel.schedule_at`.  They are single-shot: once the callback
+    has run (or the event is cancelled) the handle is inert.
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "fired")
+
+    def __init__(self, time: float, seq: int, callback: Callable[..., Any], args: Tuple):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+        self.fired = False
+
+    def cancel(self) -> bool:
+        """Cancel the event.  Returns ``True`` if it had not yet fired."""
+        if self.fired or self.cancelled:
+            return False
+        self.cancelled = True
+        return True
+
+    @property
+    def pending(self) -> bool:
+        """Whether the event is still waiting to fire."""
+        return not (self.fired or self.cancelled)
+
+    def __lt__(self, other: "EventHandle") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else ("fired" if self.fired else "pending")
+        return f"<EventHandle t={self.time:.3f} {state} {self.callback!r}>"
+
+
+class Kernel:
+    """A minimal, fast discrete-event simulator.
+
+    Typical use::
+
+        kernel = Kernel()
+        kernel.schedule(1000.0, lambda: print("one second in"))
+        kernel.run()
+
+    Events scheduled for the same time fire in scheduling order (FIFO),
+    which keeps component interactions deterministic.
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._queue: List[EventHandle] = []
+        self._seq = itertools.count()
+        self._running = False
+        self._stopped = False
+        #: Total number of events executed; useful in tests and benchmarks.
+        self.events_executed = 0
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in milliseconds."""
+        return self._now
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, callback: Callable[..., Any], *args: Any) -> EventHandle:
+        """Schedule ``callback(*args)`` to run ``delay`` ms from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay!r}")
+        return self.schedule_at(self._now + delay, callback, *args)
+
+    def schedule_at(self, time: float, callback: Callable[..., Any], *args: Any) -> EventHandle:
+        """Schedule ``callback(*args)`` at an absolute simulated time."""
+        if time < self._now:
+            raise SimulationError(f"cannot schedule in the past: {time} < {self._now}")
+        handle = EventHandle(time, next(self._seq), callback, args)
+        heapq.heappush(self._queue, handle)
+        return handle
+
+    # ------------------------------------------------------------------
+    # Run loop
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Execute the next pending event.  Returns ``False`` when idle."""
+        while self._queue:
+            handle = heapq.heappop(self._queue)
+            if handle.cancelled:
+                continue
+            self._now = handle.time
+            handle.fired = True
+            self.events_executed += 1
+            handle.callback(*handle.args)
+            return True
+        return False
+
+    def run(self, max_events: Optional[int] = None) -> int:
+        """Run until the event queue drains (or ``max_events`` fire).
+
+        Returns the number of events executed by this call.
+        """
+        executed = 0
+        self._running = True
+        try:
+            while not self._stopped:
+                if max_events is not None and executed >= max_events:
+                    break
+                if not self.step():
+                    break
+                executed += 1
+        finally:
+            self._running = False
+            self._stopped = False
+        return executed
+
+    def run_until(self, time: float) -> int:
+        """Run all events up to and including ``time``; clock ends at ``time``.
+
+        Components with periodic behaviour keep the queue non-empty, so
+        ``run_until`` is the normal way to run a phone simulation for a
+        fixed duration.
+        """
+        if time < self._now:
+            raise SimulationError(f"cannot run backwards: {time} < {self._now}")
+        executed = 0
+        self._running = True
+        try:
+            while not self._stopped and self._queue:
+                head = self._queue[0]
+                if head.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if head.time > time:
+                    break
+                self.step()
+                executed += 1
+        finally:
+            self._running = False
+            self._stopped = False
+        self._now = max(self._now, time)
+        return executed
+
+    def stop(self) -> None:
+        """Request the current :meth:`run` / :meth:`run_until` to exit."""
+        self._stopped = True
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still queued (including cancelled tombstones)."""
+        return sum(1 for event in self._queue if not event.cancelled)
+
+    def next_event_time(self) -> Optional[float]:
+        """Time of the earliest pending event, or ``None`` when idle."""
+        for event in sorted(self._queue):
+            if not event.cancelled:
+                return event.time
+        return None

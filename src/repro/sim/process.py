@@ -1,0 +1,124 @@
+"""Generator-based simulation processes.
+
+A :class:`Process` wraps a Python generator and advances it on the kernel.
+The generator models a sequential activity (a background app's loop, a
+user's day) and communicates with the kernel by *yielding*:
+
+* a ``float``/``int`` — sleep that many simulated milliseconds;
+* a :class:`Signal` — block until the signal fires; the signal payload is
+  delivered as the value of the ``yield`` expression.
+
+Processes are cooperatively scheduled; each resume runs inside a single
+kernel event.  This is the moral equivalent of the paper's thread pool
+(Section 4.5): components "do not have to maintain their own threads".
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, List, Optional
+
+from .kernel import EventHandle, Kernel, SimulationError
+
+ProcessGenerator = Generator[Any, Any, None]
+
+
+class Signal:
+    """A broadcast condition processes can wait on.
+
+    ``fire(payload)`` wakes every current waiter exactly once; waiters that
+    arrive afterwards wait for the next firing.
+    """
+
+    def __init__(self, kernel: Kernel, name: str = "") -> None:
+        self._kernel = kernel
+        self.name = name
+        self._waiters: List[Callable[[Any], None]] = []
+        self.fire_count = 0
+
+    def wait(self, callback: Callable[[Any], None]) -> None:
+        """Register a one-shot callback for the next firing."""
+        self._waiters.append(callback)
+
+    def remove_waiter(self, callback: Callable[[Any], None]) -> None:
+        if callback in self._waiters:
+            self._waiters.remove(callback)
+
+    def fire(self, payload: Any = None) -> int:
+        """Wake all waiters (as separate kernel events).  Returns count."""
+        waiters, self._waiters = self._waiters, []
+        self.fire_count += 1
+        for waiter in waiters:
+            self._kernel.schedule(0.0, waiter, payload)
+        return len(waiters)
+
+    @property
+    def waiter_count(self) -> int:
+        return len(self._waiters)
+
+
+class Process:
+    """Run a generator as a cooperative simulation process."""
+
+    def __init__(self, kernel: Kernel, generator: ProcessGenerator, name: str = "") -> None:
+        self._kernel = kernel
+        self._generator = generator
+        self.name = name
+        self.finished = False
+        self.failed: Optional[BaseException] = None
+        self._pending: Optional[EventHandle] = None
+        self._started = False
+
+    def start(self, delay: float = 0.0) -> "Process":
+        """Schedule the first resume.  Returns ``self`` for chaining."""
+        if self._started:
+            raise SimulationError(f"process {self.name!r} already started")
+        self._started = True
+        self._pending = self._kernel.schedule(delay, self._resume, None)
+        return self
+
+    def stop(self) -> None:
+        """Cancel the process; it will not be resumed again."""
+        if self._pending is not None:
+            self._pending.cancel()
+            self._pending = None
+        if not self.finished:
+            self.finished = True
+            self._generator.close()
+
+    # ------------------------------------------------------------------
+    def _resume(self, value: Any) -> None:
+        if self.finished:
+            return
+        self._pending = None
+        try:
+            # send(None) on a fresh generator is equivalent to next(); the
+            # same code path therefore starts and resumes the process.
+            yielded = self._generator.send(value)
+        except StopIteration:
+            self.finished = True
+            return
+        except BaseException as exc:  # record, then propagate to the kernel
+            self.finished = True
+            self.failed = exc
+            raise
+        self._wait_on(yielded)
+
+    def _wait_on(self, yielded: Any) -> None:
+        if yielded is None:
+            yielded = 0.0
+        if isinstance(yielded, (int, float)):
+            if yielded < 0:
+                raise SimulationError(f"process {self.name!r} yielded negative delay")
+            self._pending = self._kernel.schedule(float(yielded), self._resume, None)
+        elif isinstance(yielded, Signal):
+            yielded.wait(self._resume)
+        else:
+            raise SimulationError(
+                f"process {self.name!r} yielded unsupported value {yielded!r}; "
+                "yield a delay in ms or a Signal"
+            )
+
+
+def spawn(kernel: Kernel, generator: ProcessGenerator, name: str = "", delay: float = 0.0) -> Process:
+    """Create and start a :class:`Process` in one call."""
+    return Process(kernel, generator, name=name).start(delay)

@@ -1,0 +1,54 @@
+"""Named, seeded random streams.
+
+Every stochastic component in the simulation (mobility, RSSI noise,
+connectivity churn, background-app jitter, ...) draws from its own named
+stream derived from a single experiment seed.  This gives two properties
+the evaluation needs:
+
+* **Reproducibility** — the same seed regenerates an entire experiment,
+  including Table 4's 24-day localization deployment, bit-for-bit.
+* **Isolation** — adding a new consumer of randomness does not perturb the
+  draws seen by existing components, because streams are keyed by name
+  rather than by global draw order.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Dict
+
+
+def derive_seed(root_seed: int, name: str) -> int:
+    """Derive a child seed from ``root_seed`` and a stream ``name``.
+
+    Uses SHA-256 so that child seeds are well distributed even for
+    adjacent root seeds and similar names.
+    """
+    digest = hashlib.sha256(f"{root_seed}:{name}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class RandomStreams:
+    """A registry of independent :class:`random.Random` streams.
+
+    >>> streams = RandomStreams(seed=42)
+    >>> streams.stream("mobility/user1").random()  # doctest: +SKIP
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self._streams: Dict[str, random.Random] = {}
+
+    def stream(self, name: str) -> random.Random:
+        """Return the stream for ``name``, creating it on first use."""
+        if name not in self._streams:
+            self._streams[name] = random.Random(derive_seed(self.seed, name))
+        return self._streams[name]
+
+    def fork(self, name: str) -> "RandomStreams":
+        """Create an independent child registry (e.g. one per user)."""
+        return RandomStreams(derive_seed(self.seed, f"fork:{name}"))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._streams

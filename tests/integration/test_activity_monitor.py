@@ -1,0 +1,67 @@
+"""Integration: the activity-detection application."""
+
+import pytest
+
+from repro.apps import activity_monitor
+from repro.sim import HOUR, MINUTE
+from repro.world.mobility import TRAVEL
+
+
+def test_transitions_track_real_movement(sim):
+    collector = sim.add_collector("alice")
+    device = sim.add_device(world_days=1, with_email_app=True)
+    sim.start()
+    sim.assign(collector, [device])
+    context = collector.node.deploy(activity_monitor.build_experiment(), [device.jid])
+    # Cover the morning commute (travel) and office arrival.
+    sim.run(hours=12)
+
+    transitions = context.scripts["collect"].namespace["transitions"]
+    assert transitions, "no transitions detected"
+    # Alternating still/moving states, starting from still (overnight).
+    states = [t["to"] for t in transitions]
+    assert states[0] == "moving"
+    for a, b in zip(transitions, transitions[1:]):
+        assert a["to"] != b["to"]
+
+    # Transitions bracket the real travel segments (within hysteresis).
+    travels = [
+        s for s in device.user_world.timeline.segments
+        if s.kind == TRAVEL and s.end_ms < 12 * HOUR
+    ]
+    moving_starts = [t["at"] for t in transitions if t["to"] == "moving"]
+    assert len(moving_starts) >= len(travels) / 2
+
+    # The accel sensor duty-cycles on demand.
+    sensor = device.node.sensor_manager.sensors["accel"]
+    assert sensor.enabled
+    assert sensor.sample_count > 1000
+
+    # Data reduction: thousands of windows, a handful of transitions.
+    assert len(transitions) < sensor.sample_count / 50
+
+    host = device.node.contexts[activity_monitor.EXPERIMENT_ID].scripts["classifier"]
+    assert host.errors == []
+
+
+def test_hysteresis_debounces(sim):
+    """With hysteresis 1 (no debounce) the classifier flaps more."""
+    collector = sim.add_collector("alice")
+    device = sim.add_device(world_days=1, with_email_app=True)
+    sim.start()
+    sim.assign(collector, [device])
+    flappy = activity_monitor.build_experiment(hysteresis_windows=1)
+    context = collector.node.deploy(flappy, [device.jid])
+    sim.run(hours=12)
+    flappy_count = len(context.scripts["collect"].namespace["transitions"])
+
+    sim2 = type(sim)(seed=1234)
+    collector2 = sim2.add_collector("alice")
+    device2 = sim2.add_device(world_days=1, with_email_app=True)
+    sim2.start()
+    sim2.assign(collector2, [device2])
+    steady = activity_monitor.build_experiment(hysteresis_windows=4)
+    context2 = collector2.node.deploy(steady, [device2.jid])
+    sim2.run(hours=12)
+    steady_count = len(context2.scripts["collect"].namespace["transitions"])
+    assert flappy_count >= steady_count

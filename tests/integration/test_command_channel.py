@@ -1,0 +1,110 @@
+"""Integration: collector→device publishing (the reverse direction).
+
+Section 4.2's broker synchronization is symmetric: device scripts can
+subscribe to channels the *collector* publishes on, so researchers can
+steer running experiments without redeploying — e.g. retune a sampling
+parameter fleet-wide.  The multi broker forwards a collector publish
+only to devices whose synchronized table shows interest.
+"""
+
+import pytest
+
+from repro.core.deployment import Experiment
+from repro.sim import HOUR, MINUTE
+
+DEVICE_SCRIPT = """
+setDescription('steerable sampler')
+
+config = {'divisor': 1}
+counter = [0]
+kept = []
+
+
+def handle_battery(msg):
+    counter[0] += 1
+    if counter[0] % config['divisor'] == 0:
+        kept.append(msg)
+        publish('kept-readings', msg)
+
+
+def handle_command(msg):
+    config['divisor'] = msg['divisor']
+
+
+subscribe('battery', handle_battery, {'interval': 60 * 1000})
+subscribe('sampler-config', handle_command)
+"""
+
+COLLECT_SCRIPT = """
+received = []
+subscribe('kept-readings', lambda m: received.append(m))
+"""
+
+
+def deploy(sim, n_devices=2):
+    collector = sim.add_collector("alice")
+    devices = [sim.add_device(with_email_app=True) for _ in range(n_devices)]
+    sim.start()
+    sim.assign(collector, devices)
+    experiment = Experiment(
+        "steerable",
+        device_scripts={"sampler": DEVICE_SCRIPT},
+        collector_scripts={"collect": COLLECT_SCRIPT},
+    )
+    context = collector.node.deploy(experiment, [d.jid for d in devices])
+    return collector, devices, context
+
+
+def test_collector_publish_steers_device_scripts(sim):
+    collector, devices, context = deploy(sim)
+    sim.run(hours=1)
+    received_before = len(context.scripts["collect"].namespace["received"])
+    assert received_before > 80  # 2 devices × ~55 (divisor 1)
+
+    # Researcher throttles the fleet to every 5th reading, live.
+    context.publish_from_script(None, "sampler-config", {"divisor": 5})
+    sim.run(hours=1)
+    received_after = len(context.scripts["collect"].namespace["received"])
+    delta = received_after - received_before
+    # ~2 devices × 60 samples / 5 ≈ 24 (±batching slack).
+    assert delta < 40
+
+    # The command really reached the device scripts.
+    for device in devices:
+        host = device.node.contexts["steerable"].scripts["sampler"]
+        assert host.namespace["config"]["divisor"] == 5
+        assert host.errors == []
+
+
+def test_command_fans_out_only_to_interested_devices(sim):
+    collector, devices, context = deploy(sim)
+    # Add a device WITHOUT the sampler script (different experiment mix).
+    bystander = sim.add_device(with_email_app=True)
+    sim.assign(collector, [bystander])
+    other = Experiment("other", collector_scripts={"c": "x = 1\n"})
+    collector.node.deploy(other, [bystander.jid])
+    sim.run(hours=0.5)
+
+    context.publish_from_script(None, "sampler-config", {"divisor": 2})
+    sim.run(hours=0.1)
+    # The two subscribed devices received and applied the command...
+    for device in devices:
+        host = device.node.contexts["steerable"].scripts["sampler"]
+        assert host.namespace["config"]["divisor"] == 2
+    # ...while the bystander is not part of the experiment at all: no
+    # context, and the multi broker's fan-out set never included it.
+    assert "steerable" not in bystander.node.contexts
+    assert bystander.jid not in context.links
+
+
+def test_command_survives_device_reboot(sim):
+    collector, devices, context = deploy(sim, n_devices=1)
+    device = devices[0]
+    sim.run(hours=0.5)
+    device.phone.reboot()
+    sim.run(hours=0.5)
+    # After the reboot + presence re-sync, commands still arrive.
+    context.publish_from_script(None, "sampler-config", {"divisor": 7})
+    sim.run(hours=0.2)
+    host = device.node.contexts["steerable"].scripts["sampler"]
+    assert host.namespace["config"]["divisor"] == 7

@@ -1,0 +1,103 @@
+"""Integration: the community noise-mapping application."""
+
+import pytest
+
+from repro.apps import noise_map
+from repro.sensors.microphone import AMBIENT_DB
+from repro.sim import HOUR, MINUTE
+from repro.world.geometry import to_latlon
+
+
+def test_fleet_builds_a_noise_map(sim):
+    collector = sim.add_collector("alice")
+    devices = [sim.add_device(world_days=1, with_email_app=True) for _ in range(2)]
+    sim.start()
+    sim.assign(collector, devices)
+    context = collector.node.deploy(
+        noise_map.build_experiment(), [d.jid for d in devices]
+    )
+    sim.run(hours=14)
+
+    host = context.scripts["collect"]
+    assert host.errors == []
+    city_map = host.namespace["noise_map"]
+    assert len(city_map) >= 3  # several grid cells covered
+
+    # Cell statistics are consistent dBA values.
+    for key, cell in city_map.items():
+        lat_str, lon_str = key.split(",")
+        float(lat_str), float(lon_str)  # keys parse as coordinates
+        assert cell["n"] >= 1
+        mean = cell["sum"] / cell["n"]
+        assert 30.0 <= mean <= cell["max"] + 1e-6 <= 95.0
+
+    # Both devices contributed somewhere.
+    contributors = {d for cell in city_map.values() for d in cell["devices"]}
+    assert contributors == {d.jid for d in devices}
+
+
+def test_map_reflects_place_loudness(sim):
+    collector = sim.add_collector("alice")
+    device = sim.add_device(world_days=1, with_email_app=True)
+    sim.start()
+    sim.assign(collector, [device])
+    context = collector.node.deploy(noise_map.build_experiment(), [device.jid])
+    sim.run(hours=14)
+
+    city_map = context.scripts["collect"].namespace["noise_map"]
+    assert city_map
+
+    def cell_for(place):
+        lat, lon = to_latlon(place.center)
+        best, best_d = None, None
+        for key, cell in city_map.items():
+            klat, klon = (float(x) for x in key.split(","))
+            d = (klat - lat) ** 2 + (klon - lon) ** 2
+            if best_d is None or d < best_d:
+                best, best_d = cell, d
+        return best
+
+    home = device.user_world.places["home"][0]
+    office = device.user_world.places["office"][0]
+    home_cell = cell_for(home)
+    office_cell = cell_for(office)
+    home_mean = home_cell["sum"] / home_cell["n"]
+    office_mean = office_cell["sum"] / office_cell["n"]
+    # Offices are louder than homes in the ambient model.
+    assert AMBIENT_DB["office"] > AMBIENT_DB["home"]
+    assert office_mean > home_mean
+
+
+def test_digests_are_compact(sim):
+    """On-device aggregation: digests, not raw audio samples."""
+    from repro.core.messages import message_size_bytes
+
+    collector = sim.add_collector("alice")
+    device = sim.add_device(world_days=1, with_email_app=True)
+    sim.start()
+    sim.assign(collector, [device])
+    context = collector.node.deploy(noise_map.build_experiment(), [device.jid])
+    sim.run(hours=6)
+    digests = context.scripts["collect"].namespace["digests"]
+    assert digests
+    # 6 h of 30 s samples = 720 readings; a handful of digests instead.
+    assert len(digests) <= 6 * 4 + 2
+    total_bytes = sum(message_size_bytes(d) for d in digests)
+    assert total_bytes < 720 * 60  # far below raw-shipping cost
+
+
+def test_microphone_duty_cycles_with_experiment(sim):
+    collector = sim.add_collector("alice")
+    device = sim.add_device(world_days=1, with_email_app=True)
+    sim.start()
+    sim.assign(collector, [device])
+    sensor = device.node.sensor_manager.sensors["audio"]
+    assert not sensor.enabled
+    context = collector.node.deploy(noise_map.build_experiment(), [device.jid])
+    sim.run(hours=1)
+    assert sensor.enabled
+    assert device.phone.rail.draw_of("microphone") > 0.0
+    context.detach_device(device.jid)
+    sim.run(hours=0.2)
+    assert not sensor.enabled
+    assert device.phone.rail.draw_of("microphone") == 0.0

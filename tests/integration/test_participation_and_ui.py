@@ -1,0 +1,106 @@
+"""Integration: participation tracking (Section 3.3) and the owner UI."""
+
+import pytest
+
+from repro.apps import battery_monitor
+from repro.core.deployment import Experiment
+from repro.core.participation import ParticipationTracker
+from repro.core.middleware import PogoSimulation
+from repro.sim import HOUR, MINUTE
+
+
+def test_participation_tracks_online_time_and_traffic():
+    sim = PogoSimulation(seed=41)
+    tracker = ParticipationTracker(sim.kernel, sim.server)
+    collector = sim.add_collector("alice")
+    active = sim.add_device(with_email_app=True)
+    offline = sim.add_device(with_email_app=True)
+    sim.start()
+    sim.assign(collector, [active, offline])
+    collector.node.deploy(battery_monitor.build_experiment(), [active.jid, offline.jid])
+    sim.run(hours=0.5)
+    # The second phone loses all connectivity halfway through.
+    offline.phone.set_cell_coverage(False)
+    sim.run(hours=1.5)
+
+    active_hours = tracker.online_hours(active.jid)
+    offline_hours = tracker.online_hours(offline.jid)
+    assert active_hours == pytest.approx(2.0, abs=0.1)
+    assert offline_hours < 0.8
+
+    active_record = tracker.records[active.jid]
+    assert active_record.stanzas > 10
+    assert active_record.bytes > 1000
+
+    # Rewards rank the contributing device first.
+    assert tracker.reward_for(active.jid) > tracker.reward_for(offline.jid) >= 0.0
+
+
+def test_participation_report_is_pseudonymous():
+    sim = PogoSimulation(seed=42)
+    tracker = ParticipationTracker(sim.kernel, sim.server)
+    collector = sim.add_collector("alice")
+    device = sim.add_device(with_email_app=True)
+    sim.start()
+    sim.assign(collector, [device])
+    collector.node.deploy(battery_monitor.build_experiment(), [device.jid])
+    sim.run(hours=1)
+    report = tracker.report()
+    assert device.jid in report
+    assert "alice" not in report  # researchers are not listed
+    assert "reward" in report
+
+
+def test_researcher_traffic_not_counted():
+    sim = PogoSimulation(seed=43)
+    tracker = ParticipationTracker(sim.kernel, sim.server)
+    collector = sim.add_collector("alice")
+    device = sim.add_device(with_email_app=True)
+    sim.start()
+    sim.assign(collector, [device])
+    collector.node.deploy(battery_monitor.build_experiment(), [device.jid])
+    sim.run(hours=0.5)
+    assert collector.jid not in tracker.records
+
+
+NON_AUTOSTART = """
+setDescription('opt-in diagnostics')
+setAutoStart(False)
+
+ticks = []
+
+def tick():
+    ticks.append(1)
+    setTimeout(tick, 60 * 1000)
+
+def start():
+    tick()
+"""
+
+
+def test_ui_lists_scripts_and_starts_non_autostart(sim):
+    collector = sim.add_collector("alice")
+    device = sim.add_device(with_email_app=True)
+    sim.start()
+    sim.assign(collector, [device])
+    experiment = Experiment("diag", device_scripts={"diagnostics": NON_AUTOSTART})
+    collector.node.deploy(experiment, [device.jid])
+    sim.run(hours=0.2)
+
+    (row,) = device.node.script_status()
+    assert row["experiment"] == "diag"
+    assert row["description"] == "opt-in diagnostics"
+    assert row["autostart"] is False
+    host = device.node.contexts["diag"].scripts["diagnostics"]
+    assert host.namespace["ticks"] == []  # not started
+
+    # The owner taps "start" in the UI.
+    device.node.start_script("diag", "diagnostics")
+    sim.run(hours=0.2)
+    assert len(host.namespace["ticks"]) >= 10
+
+    # And stops it again.
+    device.node.stop_script("diag", "diagnostics")
+    count = len(host.namespace["ticks"])
+    sim.run(hours=0.2)
+    assert len(host.namespace["ticks"]) == count

@@ -1,0 +1,87 @@
+"""Integration: user privacy controls end to end (Sections 3.2/3.3).
+
+"we allow users to select the types of information they wish to share
+... these settings can be changed at any time."  Blocking a channel must
+stop the data flow to the collector *and* power the sensor down, even
+while an experiment is actively subscribed.
+"""
+
+import pytest
+
+from repro.apps import battery_monitor
+from repro.sim import HOUR, MINUTE
+
+
+def readings(context):
+    return context.scripts["collect"].namespace["readings"]
+
+
+def test_blocking_channel_mid_experiment_stops_flow_and_sensor(sim):
+    collector = sim.add_collector("alice")
+    device = sim.add_device(with_email_app=True)
+    sim.start()
+    sim.assign(collector, [device])
+    context = collector.node.deploy(battery_monitor.build_experiment(), [device.jid])
+    sim.run(hours=0.5)
+    sensor = device.node.sensor_manager.sensors["battery"]
+    assert sensor.enabled
+    flowing = len(readings(context))
+    assert flowing > 20
+
+    # The owner revokes sharing from the phone's UI.
+    device.node.privacy.block("battery")
+    assert not sensor.enabled
+    sim.run(hours=1)
+    # Nothing new beyond what was already buffered/in flight.
+    assert len(readings(context)) <= flowing + 6
+
+    # The owner re-enables sharing; flow resumes without redeployment.
+    device.node.privacy.allow("battery")
+    assert sensor.enabled
+    before = len(readings(context))
+    sim.run(hours=0.5)
+    assert len(readings(context)) > before + 20
+
+
+def test_privacy_is_per_device(sim):
+    collector = sim.add_collector("alice")
+    open_device = sim.add_device(with_email_app=True)
+    private_device = sim.add_device(with_email_app=True)
+    private_device.node.privacy.block("battery")
+    sim.start()
+    sim.assign(collector, [open_device, private_device])
+    context = collector.node.deploy(
+        battery_monitor.build_experiment(), [open_device.jid, private_device.jid]
+    )
+    sim.run(hours=1)
+    origins = {r["_device"] for r in readings(context)}
+    assert open_device.jid in origins
+    assert private_device.jid not in origins
+    # The blocked phone never even sampled: privacy saves its battery.
+    assert private_device.node.sensor_manager.sensors["battery"].sample_count == 0
+
+
+def test_blocking_one_channel_leaves_others_flowing(sim):
+    from repro.core.deployment import Experiment
+
+    collector = sim.add_collector("alice")
+    device = sim.add_device(world_days=1, with_email_app=True)
+    sim.start()
+    sim.assign(collector, [device])
+    experiment = Experiment(
+        "two-channels",
+        collector_scripts={
+            "collect": (
+                "battery = []\n"
+                "scans = []\n"
+                "subscribe('battery', lambda m: battery.append(m), {'interval': 60000})\n"
+                "subscribe('wifi-scan', lambda m: scans.append(m), {'interval': 60000})\n"
+            )
+        },
+    )
+    context = collector.node.deploy(experiment, [device.jid])
+    device.node.privacy.block("wifi-scan")
+    sim.run(hours=1)
+    host = context.scripts["collect"]
+    assert len(host.namespace["battery"]) > 20
+    assert host.namespace["scans"] == []

@@ -1,0 +1,78 @@
+"""Integration: the battery-monitoring experiment (Table 3's workload).
+
+A collector subscribing to ``battery`` activates the sensor on every
+device; readings are buffered on-device and ride the e-mail app's radio
+sessions in batches of ~5 (one e-mail check per 5 samples).
+"""
+
+import pytest
+
+from repro.apps import battery_monitor
+from repro.sim import HOUR, MINUTE
+
+
+def test_battery_collection_batches_on_email_tails(sim):
+    collector = sim.add_collector("alice")
+    device = sim.add_device(with_email_app=True)
+    sim.start()
+    sim.assign(collector, [device])
+    context = collector.node.deploy(battery_monitor.build_experiment(), [device.jid])
+    sim.run(hours=1)
+
+    host = context.scripts["collect"]
+    readings = host.namespace["readings"]
+    assert host.errors == []
+    # ~60 samples, minus the final in-flight batch.
+    assert 50 <= len(readings) <= 60
+    # All tagged with the device identity.
+    assert all(r["_device"] == device.jid for r in readings)
+    # Batched: roughly one batch per e-mail check (12/h) plus the initial
+    # connection flush, far fewer than one transmission per sample.
+    assert device.node.batches_sent <= 16
+    assert device.node.payloads_sent >= 55
+    # Pogo generated (almost) no ramp-ups of its own: the e-mail app's
+    # 12 checks plus the initial handshake account for everything.
+    email_app = device.email_app()
+    assert device.phone.modem.rampup_count <= email_app.check_count + 3
+
+
+def test_sensor_turns_off_when_collector_stops_listening(sim):
+    collector = sim.add_collector("alice")
+    device = sim.add_device(with_email_app=True)
+    sim.start()
+    sim.assign(collector, [device])
+    context = collector.node.deploy(battery_monitor.build_experiment(), [device.jid])
+    sim.run(hours=0.2)
+    sensor = device.node.sensor_manager.sensors["battery"]
+    assert sensor.enabled
+
+    # The collector script releases its subscription remotely.
+    host = context.scripts["collect"]
+    subscription = None
+    for sub in context.broker.all_subscriptions():
+        if sub.channel == "battery":
+            subscription = sub
+    subscription.release()
+    sim.run(hours=0.2)
+    assert not sensor.enabled
+    count = sensor.sample_count
+
+    # Renew: sensor comes back remotely too.
+    subscription.renew()
+    sim.run(hours=0.2)
+    assert sensor.enabled
+    assert sensor.sample_count > count
+
+
+def test_multiple_devices_fan_in(sim):
+    collector = sim.add_collector("alice")
+    devices = [sim.add_device(with_email_app=True) for _ in range(3)]
+    sim.start()
+    sim.assign(collector, devices)
+    context = collector.node.deploy(
+        battery_monitor.build_experiment(), [d.jid for d in devices]
+    )
+    sim.run(hours=1)
+    readings = context.scripts["collect"].namespace["readings"]
+    origins = {r["_device"] for r in readings}
+    assert origins == {d.jid for d in devices}

@@ -1,0 +1,85 @@
+"""Integration: the RogueFinder application (Section 5.1, Listing 2).
+
+The device script toggles its Wi-Fi scan subscription with the user's
+location, so scans are reported only inside the target polygon — and the
+Wi-Fi scanning sensor is actually *off* outside it (the energy argument
+for subscription release/renew).
+"""
+
+import pytest
+
+from repro.apps import roguefinder
+from repro.sim import HOUR, MINUTE
+from repro.world.geometry import Point, to_latlon
+
+
+def polygon_around(center: Point, half_size_m: float):
+    corners = [
+        center.offset(-half_size_m, -half_size_m),
+        center.offset(half_size_m, -half_size_m),
+        center.offset(half_size_m, half_size_m),
+        center.offset(-half_size_m, half_size_m),
+    ]
+    return [to_latlon(p) for p in corners]
+
+
+def test_roguefinder_reports_only_inside_polygon(sim):
+    collector = sim.add_collector("alice")
+    device = sim.add_device(world_days=1, with_email_app=True)
+    sim.start()
+    sim.assign(collector, [device])
+
+    # Geofence the user's office; overnight (home) must yield nothing.
+    office = device.user_world.places["office"][0]
+    experiment = roguefinder.build_experiment(polygon_around(office.center, 150.0))
+    context = collector.node.deploy(experiment, [device.jid])
+
+    sensor = device.node.sensor_manager.sensors["wifi-scan"]
+    sim.run(hours=3)  # 3 AM: at home, outside the fence
+    assert not sensor.enabled
+    scans_at_home = len(context.scripts["collect"].namespace["scans"])
+    assert scans_at_home == 0
+
+    sim.run(hours=9)  # noon: at the office
+    assert device.user_world.current_place(sim.kernel.now) is office
+    assert sensor.enabled
+    sim.run(hours=1)
+    scans_at_office = len(context.scripts["collect"].namespace["scans"])
+    assert scans_at_office > 30
+
+    # Office BSSIDs actually appear in the reports.
+    office_bssids = {ap.bssid for ap in office.access_points}
+    reported_bssids = {
+        ap["bssid"]
+        for scan in context.scripts["collect"].namespace["scans"]
+        for ap in scan["aps"]
+    }
+    assert reported_bssids & office_bssids
+
+
+def test_roguefinder_device_script_has_no_errors(sim):
+    collector = sim.add_collector("alice")
+    device = sim.add_device(world_days=1, with_email_app=True)
+    sim.start()
+    sim.assign(collector, [device])
+    office = device.user_world.places["office"][0]
+    experiment = roguefinder.build_experiment(polygon_around(office.center, 150.0))
+    collector.node.deploy(experiment, [device.jid])
+    sim.run(hours=14)
+    dctx = device.node.contexts[roguefinder.EXPERIMENT_ID]
+    assert dctx.scripts["roguefinder"].errors == []
+
+
+def test_location_sensor_runs_for_roguefinder(sim):
+    """The geofence needs location updates even outside the polygon."""
+    collector = sim.add_collector("alice")
+    device = sim.add_device(world_days=1, with_email_app=True)
+    sim.start()
+    sim.assign(collector, [device])
+    office = device.user_world.places["office"][0]
+    experiment = roguefinder.build_experiment(polygon_around(office.center, 150.0))
+    collector.node.deploy(experiment, [device.jid])
+    sim.run(hours=1)
+    location = device.node.sensor_manager.sensors["locations"]
+    assert location.enabled
+    assert location.fix_count > 20

@@ -1,0 +1,86 @@
+"""Property-based tests for the AnonyTL front-end (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.anonytl.compiler import compile_task, generate_device_script
+from repro.anonytl.parser import parse_forms, tokenize
+from repro.anonytl.tasks import parse_task
+
+symbols = st.text(alphabet="abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ=", min_size=1, max_size=8)
+atoms = st.one_of(
+    st.integers(-10**6, 10**6),
+    symbols,
+    symbols.map(lambda s: f"@{s.strip('=') or 'attr'}"),
+    st.text(alphabet="abcdefghijklmnopqrstuvwxyz ", max_size=10).map(lambda s: f"'{s}'"),
+)
+
+
+@st.composite
+def sexprs(draw, depth=0):
+    if depth >= 3 or draw(st.booleans()):
+        return draw(atoms)
+    children = draw(st.lists(sexprs(depth=depth + 1), max_size=4))
+    return children
+
+
+def unparse(form) -> str:
+    if isinstance(form, list):
+        return "(" + " ".join(unparse(child) for child in form) + ")"
+    return str(form)
+
+
+@given(st.lists(sexprs(), min_size=1, max_size=4))
+@settings(max_examples=200, deadline=None)
+def test_parser_roundtrips_arbitrary_sexprs(forms):
+    """unparse(parse(text)) == unparse of the original structure."""
+    text = "\n".join(unparse(form) for form in forms)
+    parsed = parse_forms(text)
+    assert len(parsed) == len(forms)
+    # Re-unparse through the parsed representation and parse again: the
+    # result must be a fixpoint.
+    def render(form):
+        if isinstance(form, list):
+            return "(" + " ".join(render(c) for c in form) + ")"
+        if isinstance(form, str) and not hasattr(form, "name"):
+            # parsed strings lost their quotes; re-quote for re-parse
+            return f"'{form}'"
+        return str(form)
+
+    second = parse_forms("\n".join(render(f) for f in parsed))
+    assert [render(a) for a in parsed] == [render(b) for b in second]
+
+
+@given(st.data())
+@settings(max_examples=100, deadline=None)
+def test_generated_tasks_always_compile(data):
+    """Any semantically valid task compiles to a valid Pogo experiment."""
+    task_id = data.draw(st.integers(1, 10**6))
+    interval = data.draw(st.integers(1, 120))
+    unit = data.draw(st.sampled_from(["Seconds", "Minutes", "Hours"]))
+    fields = data.draw(
+        st.lists(st.sampled_from(["location", "SSIDs"]), min_size=1, max_size=2, unique=True)
+    )
+    with_polygon = data.draw(st.booleans())
+    polygon = ""
+    if with_polygon:
+        n = data.draw(st.integers(3, 6))
+        points = " ".join(
+            f"(Point {data.draw(st.floats(-180, 180)):.4f} {data.draw(st.floats(-85, 85)):.4f})"
+            for _ in range(n)
+        )
+        polygon = f" (In location (Polygon {points}))"
+    text = (
+        f"(Task {task_id})\n"
+        f"(Report ({' '.join(fields)}) (Every {interval} {unit}){polygon})"
+    )
+    task = parse_task(text)
+    assert task.task_id == task_id
+    experiment = compile_task(task)
+    experiment.validate()  # compiles as Python source
+    script = generate_device_script(task)
+    # The script subscribes to every channel it needs.
+    if "SSIDs" in fields:
+        assert "subscribe('wifi-scan'" in script
+    if "location" in fields or with_polygon:
+        assert "subscribe('locations'" in script

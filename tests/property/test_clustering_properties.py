@@ -1,0 +1,128 @@
+"""Property-based tests for the clustering pipeline (hypothesis)."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.clustering import (
+    WindowedDBSCAN,
+    cluster_stream,
+    cosine_coefficient,
+    mean_vector,
+    nearest_to_mean,
+)
+
+bssids = st.text(alphabet="0123456789abcdef:", min_size=2, max_size=17)
+vectors = st.dictionaries(bssids, st.floats(0.01, 1.0), min_size=0, max_size=8)
+nonempty_vectors = st.dictionaries(bssids, st.floats(0.01, 1.0), min_size=1, max_size=8)
+
+
+@given(vectors, vectors)
+@settings(max_examples=300)
+def test_cosine_bounded_and_symmetric(a, b):
+    sim = cosine_coefficient(a, b)
+    assert 0.0 <= sim <= 1.0 + 1e-9
+    # Symmetric up to float summation order.
+    assert math.isclose(sim, cosine_coefficient(b, a), rel_tol=1e-9, abs_tol=1e-12)
+
+
+@given(nonempty_vectors)
+@settings(max_examples=200)
+def test_cosine_self_similarity_is_one(v):
+    assert math.isclose(cosine_coefficient(v, v), 1.0, rel_tol=1e-9)
+
+
+@given(nonempty_vectors, st.floats(0.1, 10.0))
+@settings(max_examples=200)
+def test_cosine_scale_invariant(v, scale):
+    scaled = {k: val * scale for k, val in v.items()}
+    assert math.isclose(
+        cosine_coefficient(v, scaled), 1.0, rel_tol=1e-9
+    )
+
+
+@given(st.lists(nonempty_vectors, min_size=1, max_size=10))
+@settings(max_examples=200)
+def test_mean_vector_bounds(vs):
+    mean = mean_vector(vs)
+    for key, value in mean.items():
+        per_key = [v.get(key, 0.0) for v in vs]
+        assert min(per_key) - 1e-9 <= value <= max(per_key) + 1e-9
+
+
+@given(st.lists(nonempty_vectors, min_size=1, max_size=10))
+@settings(max_examples=200)
+def test_nearest_to_mean_valid_index(vs):
+    index = nearest_to_mean(vs)
+    assert 0 <= index < len(vs)
+
+
+@st.composite
+def scan_traces(draw):
+    """A random walk between a handful of synthetic 'places'."""
+    place_count = draw(st.integers(1, 4))
+    places = []
+    for p in range(place_count):
+        keys = [f"p{p}-ap{i}" for i in range(draw(st.integers(2, 6)))]
+        places.append({k: draw(st.floats(0.2, 1.0)) for k in keys})
+    samples = []
+    t = 0.0
+    for _ in range(draw(st.integers(1, 8))):
+        place = places[draw(st.integers(0, place_count - 1))]
+        for _ in range(draw(st.integers(1, 40))):
+            noisy = {
+                k: max(0.01, min(1.0, v + draw(st.floats(-0.05, 0.05))))
+                for k, v in place.items()
+            }
+            samples.append((t, noisy))
+            t += 60_000.0
+        # Some travel noise between places.
+        for i in range(draw(st.integers(0, 5))):
+            samples.append((t, {f"street-{t}-{i}": 0.3}))
+            t += 60_000.0
+    return samples
+
+
+@given(scan_traces())
+@settings(max_examples=60, deadline=None)
+def test_cluster_invariants(samples):
+    clusters = cluster_stream(samples, min_pts=5, window=60)
+    previous_exit = -1.0
+    for cluster in clusters:
+        # Temporal sanity.
+        assert cluster.entry_ms <= cluster.exit_ms
+        assert cluster.samples >= 5
+        # Clusters are emitted in order and never overlap.
+        assert cluster.entry_ms >= previous_exit - 1e-9
+        previous_exit = cluster.exit_ms
+        # The representative is a plausible scan vector.
+        assert cluster.representative
+        for value in cluster.representative.values():
+            assert 0.0 <= value <= 1.0
+
+
+@given(scan_traces(), st.integers(1, 100))
+@settings(max_examples=40, deadline=None)
+def test_freeze_restore_equals_uninterrupted(samples, split_raw):
+    """Splitting the stream at any point and carrying state across via
+    state()/restore() yields exactly the uninterrupted result."""
+    split = split_raw % (len(samples) + 1)
+    continuous = WindowedDBSCAN()
+    for t, v in samples:
+        continuous.add(t, v)
+    continuous.flush()
+
+    first = WindowedDBSCAN()
+    for t, v in samples[:split]:
+        first.add(t, v)
+    second = WindowedDBSCAN()
+    second.restore(first.state())
+    closed = list(first.closed)
+    second.on_cluster = closed.append
+    for t, v in samples[split:]:
+        second.add(t, v)
+    second.flush()
+
+    assert [c["entry"] for c in closed] == [c["entry"] for c in continuous.closed]
+    assert [c["exit"] for c in closed] == [c["exit"] for c in continuous.closed]

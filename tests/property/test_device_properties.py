@@ -1,0 +1,126 @@
+"""Property-based tests for the device substrate (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.device.power import PowerRail
+from repro.device.radio import CARRIERS, IDLE, KPN, Modem
+from repro.device.cpu import Cpu, CpuConfig
+from repro.sim import Kernel
+
+
+# ---------------------------------------------------------------------------
+# Radio: energy accounting is exactly dwell-time × state power
+# ---------------------------------------------------------------------------
+
+transfer_schedules = st.lists(
+    st.tuples(
+        st.floats(0.0, 120_000.0),   # gap before this transfer
+        st.integers(1, 200_000),     # tx bytes
+        st.integers(0, 500_000),     # rx bytes
+    ),
+    min_size=1,
+    max_size=8,
+)
+
+
+@given(transfer_schedules, st.sampled_from(sorted(CARRIERS)))
+@settings(max_examples=80, deadline=None)
+def test_radio_energy_equals_state_dwell_integral(schedule, carrier_name):
+    profile = CARRIERS[carrier_name]
+    kernel = Kernel()
+    rail = PowerRail(kernel)
+    modem = Modem(kernel, rail, profile)
+
+    # Track state dwell times through the listener interface.
+    dwell = {}
+    state_since = {"state": modem.state, "at": kernel.now}
+
+    def on_change(old, new):
+        dwell[old] = dwell.get(old, 0.0) + kernel.now - state_since["at"]
+        state_since["state"] = new
+        state_since["at"] = kernel.now
+
+    modem.on_state_change.append(on_change)
+
+    t = 0.0
+    completions = []
+    for gap, tx, rx in schedule:
+        t += gap
+        kernel.schedule_at(
+            t, lambda tx=tx, rx=rx: modem.transfer(tx, rx, on_complete=completions.append)
+        )
+    kernel.run()
+    # Let all tails expire, then settle the final dwell.
+    kernel.run_until(kernel.now + profile.dch_tail_ms + profile.fach_tail_ms + 1000.0)
+    dwell[state_since["state"]] = (
+        dwell.get(state_since["state"], 0.0) + kernel.now - state_since["at"]
+    )
+
+    watts = {"idle": profile.idle_w, "ramp": profile.ramp_w,
+             "dch": profile.dch_w, "fach": profile.fach_w, "off": 0.0}
+    expected = sum(dwell.get(s, 0.0) * w for s, w in watts.items()) / 1000.0
+    assert abs(rail.energy_joules - expected) < 1e-6 * max(1.0, expected)
+
+    # Every transfer completed successfully and the modem wound down.
+    assert completions == [True] * len(schedule)
+    assert modem.state == IDLE
+    assert not modem.transferring
+
+
+@given(transfer_schedules)
+@settings(max_examples=60, deadline=None)
+def test_radio_byte_counters_are_exact(schedule):
+    kernel = Kernel()
+    modem = Modem(kernel, PowerRail(kernel), KPN)
+    t = 0.0
+    for gap, tx, rx in schedule:
+        t += gap
+        kernel.schedule_at(t, lambda tx=tx, rx=rx: modem.transfer(tx, rx))
+    kernel.run()
+    assert modem.bytes_tx == sum(tx for _, tx, _ in schedule)
+    assert modem.bytes_rx == sum(rx for _, _, rx in schedule)
+    assert modem.transfer_count == len(schedule)
+
+
+# ---------------------------------------------------------------------------
+# CPU: wake-lock balance implies eventual sleep; alarms always fire
+# ---------------------------------------------------------------------------
+
+alarm_plans = st.lists(st.floats(1.0, 300_000.0), min_size=1, max_size=20)
+
+
+@given(alarm_plans)
+@settings(max_examples=80, deadline=None)
+def test_cpu_sleeps_after_any_alarm_schedule(delays):
+    kernel = Kernel()
+    cpu = Cpu(kernel, PowerRail(kernel), CpuConfig(awake_hold_ms=1100.0))
+    fired = []
+    for delay in delays:
+        cpu.set_alarm(delay, fired.append, delay)
+    kernel.run()
+    kernel.run_until(kernel.now + 10_000.0)
+    assert sorted(fired) == sorted(delays)
+    assert not cpu.awake
+    assert cpu.wake_locks_held == 0
+
+
+@given(
+    st.lists(
+        st.tuples(st.floats(0.0, 10_000.0), st.sampled_from(["a", "b", "c"])),
+        min_size=1,
+        max_size=15,
+    )
+)
+@settings(max_examples=80, deadline=None)
+def test_balanced_wake_locks_always_release(plan):
+    """Acquire/release pairs in any interleaving leave zero locks held."""
+    kernel = Kernel()
+    cpu = Cpu(kernel, PowerRail(kernel), CpuConfig(awake_hold_ms=500.0))
+    for at, tag in plan:
+        kernel.schedule_at(at, cpu.acquire_wake_lock, tag)
+        kernel.schedule_at(at + 100.0, cpu.release_wake_lock, tag)
+    kernel.run()
+    kernel.run_until(kernel.now + 5_000.0)
+    assert cpu.wake_locks_held == 0
+    assert not cpu.awake

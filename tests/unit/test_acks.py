@@ -1,0 +1,134 @@
+"""Unit tests for the end-to-end acknowledgement layer."""
+
+import pytest
+
+from repro.net.acks import ReliableLink
+from repro.sim import Kernel
+
+
+class Pipe:
+    """Connects two ReliableLinks with controllable loss."""
+
+    def __init__(self):
+        self.kernel = Kernel()
+        self.drop_a_to_b = False
+        self.drop_b_to_a = False
+        self.delivered_a = []
+        self.delivered_b = []
+        self.a = ReliableLink(
+            self.kernel, "b", self._send_a_to_b, self.delivered_a.append,
+            request_ack_send=lambda: self._ack_from("a"),
+        )
+        self.b = ReliableLink(
+            self.kernel, "a", self._send_b_to_a, self.delivered_b.append,
+            request_ack_send=lambda: self._ack_from("b"),
+        )
+
+    def _send_a_to_b(self, stanza):
+        if not self.drop_a_to_b:
+            self.kernel.schedule(1.0, self.b.on_raw, stanza)
+
+    def _send_b_to_a(self, stanza):
+        if not self.drop_b_to_a:
+            self.kernel.schedule(1.0, self.a.on_raw, stanza)
+
+    def _ack_from(self, side):
+        link, send = (self.a, self._send_a_to_b) if side == "a" else (self.b, self._send_b_to_a)
+        ack = link.make_ack()
+        if ack is not None:
+            send(ack)
+
+    def run(self, ms=10.0):
+        self.kernel.run_until(self.kernel.now + ms)
+
+
+def test_in_order_delivery():
+    pipe = Pipe()
+    for n in range(5):
+        pipe.a.send({"n": n})
+    pipe.run()
+    assert [m["n"] for m in pipe.delivered_b] == [0, 1, 2, 3, 4]
+    assert pipe.a.unacked_count == 0
+
+
+def test_loss_recovered_by_resend():
+    pipe = Pipe()
+    pipe.drop_a_to_b = True
+    pipe.a.send({"n": 0})
+    pipe.run()
+    assert pipe.delivered_b == []
+    assert pipe.a.unacked_count == 1
+    pipe.drop_a_to_b = False
+    # Not resent before the minimum age...
+    assert pipe.a.resend_unacked() == 0
+    pipe.run(40_000.0)
+    assert pipe.a.resend_unacked() == 1
+    pipe.run()
+    assert [m["n"] for m in pipe.delivered_b] == [0]
+    assert pipe.a.unacked_count == 0
+
+
+def test_duplicate_suppressed():
+    pipe = Pipe()
+    pipe.a.send({"n": 0})
+    pipe.run(40_000.0)
+    pipe.a._unacked[1] = {"n": 0}  # simulate a lost ack: force retransmit
+    pipe.a._sent_at[1] = 0.0
+    pipe.a._transmit(1)
+    pipe.run()
+    assert len(pipe.delivered_b) == 1
+    assert pipe.b.duplicates >= 1
+
+
+def test_out_of_order_buffered_until_gap_fills():
+    pipe = Pipe()
+    pipe.drop_a_to_b = True
+    pipe.a.send({"n": 0})  # lost
+    pipe.run()
+    pipe.drop_a_to_b = False
+    pipe.a.send({"n": 1})  # arrives out of order
+    pipe.run()
+    assert pipe.delivered_b == []  # held back
+    pipe.run(40_000.0)
+    pipe.a.resend_unacked()
+    pipe.run()
+    assert [m["n"] for m in pipe.delivered_b] == [0, 1]
+
+
+def test_abandonment_advances_base_and_receiver_skips():
+    pipe = Pipe()
+    pipe.drop_a_to_b = True
+    pipe.a.send({"n": 0})
+    pipe.run(100_000.0)
+    pipe.drop_a_to_b = False
+    # Abandon everything older than 50 s, then send fresh data.
+    pipe.a.resend_unacked(max_age_ms=50_000.0)
+    assert pipe.a.abandoned == 1
+    pipe.a.send({"n": 1})
+    pipe.run()
+    assert [m["n"] for m in pipe.delivered_b] == [1]
+
+
+def test_piggybacked_acks_clear_reverse_direction():
+    pipe = Pipe()
+    pipe.b.send({"from_b": 1})
+    pipe.run()
+    # a received b's envelope; a's next envelope carries the ack.
+    pipe.a.send({"from_a": 1})
+    pipe.run()
+    assert pipe.b.unacked_count == 0
+
+
+def test_unknown_stanza_kind_rejected():
+    pipe = Pipe()
+    with pytest.raises(ValueError):
+        pipe.a.on_raw({"kind": "mystery"})
+
+
+def test_metrics_accumulate():
+    pipe = Pipe()
+    for n in range(3):
+        pipe.a.send({"n": n})
+    pipe.run()
+    assert pipe.a.sent == 3
+    assert pipe.b.delivered == 3

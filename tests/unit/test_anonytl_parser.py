@@ -1,0 +1,151 @@
+"""Unit tests for the AnonyTL s-expression parser and task model."""
+
+import pytest
+
+from repro.anonytl.parser import (
+    AnonyTLSyntaxError,
+    Attribute,
+    Symbol,
+    head_is,
+    parse_forms,
+    tokenize,
+)
+from repro.anonytl.tasks import (
+    ROGUEFINDER_TASK,
+    AnonyTLSemanticError,
+    parse_task,
+)
+from repro.sim import MINUTE
+
+
+class TestTokenizer:
+    def test_basic_tokens(self):
+        assert tokenize("(Task 25043)") == ["(", "Task", "25043", ")"]
+
+    def test_quoted_strings(self):
+        assert tokenize("(= @carrier 'professor')") == [
+            "(", "=", "@carrier", "'professor'", ")",
+        ]
+
+    def test_unterminated_string(self):
+        with pytest.raises(AnonyTLSyntaxError):
+            tokenize("(= @x 'oops)")
+
+    def test_comments_stripped(self):
+        tokens = tokenize("(Task 1) ; the task id\n(Expires 2)")
+        assert ";" not in " ".join(tokens)
+        assert "Expires" in tokens
+
+    def test_whitespace_and_newlines(self):
+        assert tokenize("(a\n  b\tc)") == ["(", "a", "b", "c", ")"]
+
+
+class TestReader:
+    def test_atoms(self):
+        forms = parse_forms("(x 1 2.5 -3 'text' @attr)")
+        (form,) = forms
+        assert form[0] == Symbol("x")
+        assert form[1] == 1
+        assert form[2] == 2.5
+        assert form[3] == -3
+        assert form[4] == "text"
+        assert form[5] == Attribute("attr")
+
+    def test_nested_forms(self):
+        (form,) = parse_forms("(a (b (c 1)) 2)")
+        assert form[1][1][1] == 1
+
+    def test_multiple_top_level_forms(self):
+        forms = parse_forms("(Task 1) (Expires 2)")
+        assert len(forms) == 2
+
+    def test_unbalanced_parens(self):
+        with pytest.raises(AnonyTLSyntaxError):
+            parse_forms("(a (b)")
+        with pytest.raises(AnonyTLSyntaxError):
+            parse_forms("a))")
+
+    def test_head_is_case_insensitive(self):
+        (form,) = parse_forms("(REPORT x)")
+        assert head_is(form, "report")
+        assert not head_is(form, "task")
+        assert not head_is(12, "report")
+
+    def test_empty_attribute_rejected(self):
+        with pytest.raises(AnonyTLSyntaxError):
+            parse_forms("(@ x)")
+
+
+class TestTaskModel:
+    def test_listing1_parses(self):
+        task = parse_task(ROGUEFINDER_TASK)
+        assert task.task_id == 25043
+        assert task.expires == 1196728453
+        assert task.accept.requirements == (("carrier", "professor"),)
+        (report,) = task.reports
+        assert report.fields == ("location", "ssids")
+        assert report.interval_ms == 1 * MINUTE
+        assert report.condition.vertices == ((1.0, 1.0), (2.0, 2.0), (3.0, 0.0))
+
+    def test_accept_matching(self):
+        task = parse_task(ROGUEFINDER_TASK)
+        assert task.accept.matches({"carrier": "professor"})
+        assert not task.accept.matches({"carrier": "student"})
+        assert not task.accept.matches({})
+
+    def test_accept_conjunction(self):
+        task = parse_task(
+            "(Task 1)\n(Accept (and (= @carrier 'a') (= @os 'android')))\n"
+            "(Report (location) (Every 5 Minutes))"
+        )
+        assert task.accept.matches({"carrier": "a", "os": "android"})
+        assert not task.accept.matches({"carrier": "a"})
+
+    def test_report_without_condition(self):
+        task = parse_task("(Task 9)\n(Report (SSIDs) (Every 30 Seconds))")
+        (report,) = task.reports
+        assert report.condition is None
+        assert report.interval_ms == 30_000.0
+        assert task.accept is None
+        assert task.expires is None
+
+    def test_multiple_reports(self):
+        task = parse_task(
+            "(Task 2)\n"
+            "(Report (location) (Every 2 Minutes))\n"
+            "(Report (SSIDs) (Every 10 Minutes))"
+        )
+        assert len(task.reports) == 2
+        assert task.experiment_id == "anonytl-2"
+
+    def test_missing_task_id(self):
+        with pytest.raises(AnonyTLSemanticError):
+            parse_task("(Report (location) (Every 1 Minute))")
+
+    def test_missing_report(self):
+        with pytest.raises(AnonyTLSemanticError):
+            parse_task("(Task 1)")
+
+    def test_unsupported_field(self):
+        with pytest.raises(AnonyTLSemanticError):
+            parse_task("(Task 1)\n(Report (heartbeat) (Every 1 Minute))")
+
+    def test_bad_schedule(self):
+        with pytest.raises(AnonyTLSemanticError):
+            parse_task("(Task 1)\n(Report (location) (Every 0 Minutes))")
+        with pytest.raises(AnonyTLSemanticError):
+            parse_task("(Task 1)\n(Report (location) (Every 5 Fortnights))")
+
+    def test_degenerate_polygon(self):
+        with pytest.raises(AnonyTLSemanticError):
+            parse_task(
+                "(Task 1)\n(Report (location) (Every 1 Minute)"
+                " (In location (Polygon (Point 1 1) (Point 2 2))))"
+            )
+
+    def test_unsupported_condition_subject(self):
+        with pytest.raises(AnonyTLSemanticError):
+            parse_task(
+                "(Task 1)\n(Report (location) (Every 1 Minute)"
+                " (In battery (Polygon (Point 1 1) (Point 2 2) (Point 3 0))))"
+            )

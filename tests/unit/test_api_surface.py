@@ -1,0 +1,73 @@
+"""Unit tests pinning down the sandbox's exact API surface (Table 1)."""
+
+import pytest
+
+from repro.core.api import API_METHOD_COUNT, SAFE_BUILTINS, api_method_names, build_namespace
+from repro.core.multibroker import CollectorContext
+from repro.core.node import CollectorNode
+from repro.core.scripting import ScriptHost
+from repro.net.xmpp import XmppServer
+from repro.sim import Kernel
+
+
+def make_host():
+    kernel = Kernel()
+    node = CollectorNode(kernel, XmppServer(kernel), "pc@x")
+    context = CollectorContext(node, "exp")
+    return ScriptHost(context, "s", "pass\n")
+
+
+def test_table1_method_names():
+    assert api_method_names() == [
+        "setDescription",
+        "setAutoStart",
+        "print",
+        "log",
+        "logTo",
+        "publish",
+        "subscribe",
+        "freeze",
+        "thaw",
+        "json",
+        "setTimeout",
+    ]
+    assert len(api_method_names()) == API_METHOD_COUNT == 11
+
+
+def test_namespace_contains_exactly_the_api_plus_math():
+    namespace = build_namespace(make_host())
+    non_dunder = {k for k in namespace if not k.startswith("__")}
+    assert non_dunder == set(api_method_names()) | {"math"}
+
+
+def test_dangerous_builtins_absent():
+    namespace = build_namespace(make_host())
+    builtins = namespace["__builtins__"]
+    for name in (
+        "__import__", "open", "eval", "exec", "compile", "input",
+        "globals", "locals", "vars", "getattr", "setattr", "delattr",
+        "memoryview", "breakpoint", "exit", "quit",
+    ):
+        assert name not in builtins, name
+
+
+def test_useful_builtins_present():
+    for name in ("len", "range", "sorted", "dict", "list", "min", "max",
+                 "sum", "abs", "enumerate", "zip", "isinstance",
+                 "__build_class__", "ValueError"):
+        assert name in SAFE_BUILTINS, name
+
+
+def test_namespaces_are_isolated_between_scripts():
+    a = build_namespace(make_host())
+    b = build_namespace(make_host())
+    a["__builtins__"]["len"] = None  # sabotage one sandbox
+    assert b["__builtins__"]["len"] is len
+
+
+def test_math_is_the_real_module():
+    import math
+
+    namespace = build_namespace(make_host())
+    assert namespace["math"].sqrt(9.0) == 3.0
+    assert namespace["math"] is math

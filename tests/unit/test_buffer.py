@@ -1,0 +1,98 @@
+"""Unit tests for the store-and-forward buffer and its backends."""
+
+import pytest
+
+from repro.core.buffer import (
+    DEFAULT_MAX_AGE_MS,
+    InMemoryStore,
+    MessageBuffer,
+    SqliteStore,
+)
+from repro.sim import HOUR, Kernel
+
+
+@pytest.fixture(params=["memory", "sqlite"])
+def store(request):
+    if request.param == "memory":
+        return InMemoryStore()
+    return SqliteStore(":memory:")
+
+
+def test_enqueue_and_peek(store):
+    kernel = Kernel()
+    buffer = MessageBuffer(kernel, store)
+    buffer.enqueue("collector@x", {"op": "pub", "n": 1})
+    buffer.enqueue("collector@x", {"op": "pub", "n": 2})
+    buffer.enqueue("other@x", {"op": "pub", "n": 3})
+    batches = buffer.peek_batches()
+    assert [dest for dest, _ in batches] == ["collector@x", "other@x"]
+    assert [m.payload["n"] for m in batches[0][1]] == [1, 2]
+    assert len(buffer) == 3
+
+
+def test_mark_sent_removes(store):
+    kernel = Kernel()
+    buffer = MessageBuffer(kernel, store)
+    buffer.enqueue("a", {"n": 1})
+    buffer.enqueue("a", {"n": 2})
+    (dest, messages), = buffer.peek_batches()
+    buffer.mark_sent(messages)
+    assert buffer.empty
+    assert buffer.drained == 2
+
+
+def test_expiry_drops_old_messages(store):
+    """The 24-hour purge that lost user 2a's trip data (Section 5.3)."""
+    kernel = Kernel()
+    buffer = MessageBuffer(kernel, store, max_age_ms=DEFAULT_MAX_AGE_MS)
+    buffer.enqueue("a", {"n": "old"})
+    kernel.run_until(25 * HOUR)
+    buffer.enqueue("a", {"n": "fresh"})
+    dropped = buffer.purge_expired()
+    assert dropped == 1
+    assert buffer.expired == 1
+    (dest, messages), = buffer.peek_batches()
+    assert [m.payload["n"] for m in messages] == ["fresh"]
+
+
+def test_peek_purges_implicitly(store):
+    kernel = Kernel()
+    buffer = MessageBuffer(kernel, store, max_age_ms=1000.0)
+    buffer.enqueue("a", {"n": 1})
+    kernel.run_until(2000.0)
+    assert buffer.peek_batches() == []
+    assert buffer.expired == 1
+
+
+def test_backends_behave_identically():
+    kernel_a, kernel_b = Kernel(), Kernel()
+    mem = MessageBuffer(kernel_a, InMemoryStore(), max_age_ms=10_000.0)
+    sql = MessageBuffer(kernel_b, SqliteStore(":memory:"), max_age_ms=10_000.0)
+    for buffer, kernel in ((mem, kernel_a), (sql, kernel_b)):
+        buffer.enqueue("x", {"n": 1})
+        kernel.run_until(20_000.0)
+        buffer.enqueue("x", {"n": 2})
+    assert [
+        [m.payload for m in msgs] for _, msgs in mem.peek_batches()
+    ] == [[m.payload for m in msgs] for _, msgs in sql.peek_batches()]
+    assert mem.expired == sql.expired == 1
+
+
+def test_sqlite_persistence_across_reopen(tmp_path):
+    path = str(tmp_path / "outbox.db")
+    kernel = Kernel()
+    buffer = MessageBuffer(kernel, SqliteStore(path))
+    buffer.enqueue("a", {"n": 1})
+    buffer.store.close()
+    # "to ensure that no messages are lost should a device reboot"
+    reopened = MessageBuffer(kernel, SqliteStore(path))
+    (dest, messages), = reopened.peek_batches()
+    assert messages[0].payload == {"n": 1}
+
+
+def test_counters(store):
+    kernel = Kernel()
+    buffer = MessageBuffer(kernel, store)
+    for n in range(4):
+        buffer.enqueue("a", {"n": n})
+    assert buffer.enqueued == 4

@@ -1,0 +1,50 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_quickstart(capsys):
+    assert main(["--seed", "3", "quickstart", "--devices", "2", "--hours", "0.3"]) == 0
+    out = capsys.readouterr().out
+    assert "readings from 2 devices" in out
+    assert "device-1@pogo" in out
+
+
+def test_tail_trace(capsys):
+    assert main(["tail-trace"]) == 0
+    out = capsys.readouterr().out
+    assert "tail b->d 59.5 s" in out
+    assert "█" in out  # the ASCII trace rendered
+
+
+def test_roguefinder(capsys):
+    assert main(["--seed", "21", "roguefinder", "--hours", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "geofenced scans" in out
+
+
+def test_anonytl_task_file(tmp_path, capsys):
+    task_file = tmp_path / "task.atl"
+    task_file.write_text("(Task 5)\n(Report (SSIDs) (Every 10 Minutes))\n")
+    assert main(["anonytl", str(task_file), "--hours", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "task 5" in out
+    assert "reports on 'anonytl-reports'" in out
+
+
+def test_localization_short(capsys):
+    assert main(["--seed", "11", "localization", "--days", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "dwell sessions" in out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])
+
+
+def test_missing_command_rejected():
+    with pytest.raises(SystemExit):
+        main([])

@@ -1,0 +1,141 @@
+"""Unit tests for deployment disruptions."""
+
+import random
+
+import pytest
+
+from repro.device import Phone
+from repro.sim import DAY, HOUR, Kernel
+from repro.world.disruptions import (
+    BATTERY_OUT,
+    DATA_OFF,
+    DATA_ON,
+    REBOOT,
+    SCRIPT_UPDATE,
+    Disruption,
+    DisruptionPlan,
+    cell_outage,
+    random_reboots,
+    script_update_schedule,
+    standard_plan,
+    trip_abroad,
+)
+
+
+def test_plan_schedules_reboot():
+    kernel = Kernel()
+    phone = Phone(kernel)
+    plan = DisruptionPlan().add(1 * HOUR, REBOOT)
+    plan.schedule(kernel, phone)
+    kernel.run_until(1 * HOUR + 1.0)
+    assert not phone.alive
+    kernel.run_until(2 * HOUR)
+    assert phone.alive
+    assert phone.reboot_count == 1
+
+
+def test_battery_out_has_long_downtime():
+    kernel = Kernel()
+    phone = Phone(kernel)
+    DisruptionPlan().add(1000.0, BATTERY_OUT).schedule(kernel, phone)
+    kernel.run_until(20 * 60 * 1000.0)
+    assert not phone.alive  # still charging
+    kernel.run_until(50 * 60 * 1000.0)
+    assert phone.alive
+
+
+def test_data_off_and_on():
+    kernel = Kernel()
+    phone = Phone(kernel)
+    plan = DisruptionPlan()
+    plan.add(100.0, DATA_OFF)
+    plan.add(200.0, DATA_ON)
+    plan.schedule(kernel, phone)
+    kernel.run_until(150.0)
+    assert not phone.modem.data_enabled
+    kernel.run_until(250.0)
+    assert phone.modem.data_enabled
+
+
+def test_script_update_invokes_hook():
+    kernel = Kernel()
+    phone = Phone(kernel)
+    updates = []
+    DisruptionPlan().add(500.0, SCRIPT_UPDATE).schedule(
+        kernel, phone, on_script_update=lambda: updates.append(kernel.now)
+    )
+    kernel.run_until(1000.0)
+    assert updates == [500.0]
+
+
+def test_unknown_kind_raises():
+    kernel = Kernel()
+    phone = Phone(kernel)
+    DisruptionPlan().add(10.0, "frobnicate").schedule(kernel, phone)
+    with pytest.raises(ValueError):
+        kernel.run()
+
+
+def test_random_reboots_rate():
+    rng = random.Random(3)
+    events = random_reboots(rng, days=100, rate_per_day=0.5)
+    assert 25 <= len(events) <= 80
+    assert all(e.kind == REBOOT for e in events)
+    assert all(0 <= e.time_ms < 100 * DAY for e in events)
+
+
+def test_random_reboots_zero_rate():
+    assert random_reboots(random.Random(1), days=10, rate_per_day=0.0) == []
+
+
+def test_script_update_schedule_respects_horizon():
+    events = script_update_schedule(days=6, update_days=[1, 3, 10])
+    assert len(events) == 2
+    assert all(e.kind == SCRIPT_UPDATE for e in events)
+
+
+def test_trip_abroad_and_outage_shapes():
+    trip = trip_abroad(10.0, 17.0)
+    # Data roaming off AND no known Wi-Fi networks while abroad.
+    assert [e.kind for e in trip[:2]] == [DATA_OFF, "wifi_off"]
+    assert {e.kind for e in trip if e.time_ms == 17.0 * DAY} == {DATA_ON, "wifi_on"}
+    outage = cell_outage(12.0, 14.0)
+    assert outage[0].time_ms == 12.0 * DAY
+    assert outage[1].time_ms == 14.0 * DAY
+
+
+def test_wifi_suppression_survives_reboot():
+    kernel = Kernel()
+    phone = Phone(kernel)
+    phone.set_wifi_connected(True)
+    phone.suppress_wifi_association(True)
+    assert not phone.wifi.connected
+    phone.reboot(downtime_ms=5000.0)
+    kernel.run_until(60_000.0)
+    # The boot path must not silently restore the association.
+    assert not phone.wifi.connected
+    phone.suppress_wifi_association(False)
+    assert phone.wifi.connected
+
+
+def test_standard_plan_composition():
+    plan = standard_plan(
+        random.Random(5),
+        days=24,
+        update_days=[2, 5],
+        extra=trip_abroad(10, 17),
+    )
+    assert plan.count(SCRIPT_UPDATE) == 2
+    assert plan.count(DATA_OFF) == 1
+    events = plan.sorted_events()
+    assert all(a.time_ms <= b.time_ms for a, b in zip(events, events[1:]))
+
+
+def test_past_events_skipped():
+    kernel = Kernel()
+    kernel.run_until(1000.0)
+    phone = Phone(kernel)
+    plan = DisruptionPlan().add(500.0, REBOOT)  # already in the past
+    plan.schedule(kernel, phone)
+    kernel.run_until(2000.0)
+    assert phone.reboot_count == 0

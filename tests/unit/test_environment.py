@@ -1,0 +1,102 @@
+"""Unit tests for the user world: scan generation and connectivity."""
+
+import pytest
+
+from repro.device import Phone
+from repro.sim import DAY, HOUR, Kernel, MINUTE, RandomStreams
+from repro.world.environment import ConnectivityDriver, build_user_world
+from repro.world.mobility import DWELL, TRAVEL, UserProfile
+
+
+def make_world(seed=1, days=2, **kwargs):
+    return build_user_world("u", RandomStreams(seed), days=days, **kwargs)
+
+
+def test_scans_at_same_place_are_similar():
+    world = make_world()
+    # 3 AM: at home.
+    a = {r.bssid for r in world.scan(3 * HOUR)}
+    b = {r.bssid for r in world.scan(3 * HOUR + MINUTE)}
+    assert a and b
+    overlap = len(a & b) / max(len(a | b), 1)
+    assert overlap > 0.4
+
+
+def test_scans_at_different_places_are_disjoint():
+    world = make_world()
+    home = {r.bssid for r in world.scan(3 * HOUR)}
+    office = {r.bssid for r in world.scan(11 * HOUR)}
+    assert home
+    assert office
+    assert not (home & office)
+
+
+def test_scan_readings_sorted_by_strength():
+    world = make_world()
+    readings = world.scan(3 * HOUR)
+    values = [r.rssi_dbm for r in readings]
+    assert values == sorted(values, reverse=True)
+
+
+def test_travel_scans_contain_transients():
+    world = make_world()
+    travels = [s for s in world.timeline.segments if s.kind == TRAVEL]
+    assert travels
+    travel = travels[0]
+    mid = (travel.start_ms + travel.end_ms) / 2
+    # Two scans during the same travel never share street APs (they are
+    # generated fresh each time) — this is the noise DBSCAN must reject.
+    a = {r.bssid for r in world.scan(mid)}
+    b = {r.bssid for r in world.scan(mid)}
+    # Possibly both empty in a radio desert; at least they don't blow up.
+    assert isinstance(a, set) and isinstance(b, set)
+
+
+def test_position_jitters_within_place():
+    world = make_world()
+    place = world.current_place(3 * HOUR)
+    assert place is not None
+    for _ in range(20):
+        p = world.position(3 * HOUR)
+        assert place.center.distance_to(p) < place.radius * 5
+
+
+def test_wifi_internet_at_home_not_in_transit():
+    world = make_world()
+    assert world.wifi_internet_available(3 * HOUR)  # home
+    travels = [s for s in world.timeline.segments if s.kind == TRAVEL]
+    mid = (travels[0].start_ms + travels[0].end_ms) / 2
+    assert not world.wifi_internet_available(mid)
+
+
+def test_scan_reading_message_shape():
+    world = make_world()
+    readings = world.scan(3 * HOUR)
+    message = readings[0].to_message()
+    assert set(message) == {"bssid", "ssid", "rssi"}
+
+
+def test_connectivity_driver_applies_wifi_at_boundaries():
+    kernel = Kernel()
+    world = make_world(days=1)
+    phone = Phone(kernel)
+    ConnectivityDriver(kernel, world, phone).start()
+    assert phone.wifi.connected  # starts at home
+    # Find the first travel segment and check wifi drops there.
+    travel = next(s for s in world.timeline.segments if s.kind == TRAVEL)
+    kernel.run_until(travel.start_ms + 2.0)
+    assert not phone.wifi.connected
+
+
+def test_mobile_profile_world():
+    world = make_world(profile=UserProfile(name="u", lifestyle="mobile"), days=2)
+    dwells = world.timeline.dwells(10 * MINUTE)
+    assert len(dwells) >= 10
+
+
+def test_world_determinism():
+    a = make_world(seed=5)
+    b = make_world(seed=5)
+    ra = [(r.bssid, r.rssi_dbm) for r in a.scan(3 * HOUR)]
+    rb = [(r.bssid, r.rssi_dbm) for r in b.scan(3 * HOUR)]
+    assert ra == rb

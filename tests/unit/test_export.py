@@ -1,0 +1,88 @@
+"""Unit tests for CSV export."""
+
+import csv
+import io
+
+import pytest
+
+from repro.analysis.export import (
+    intervals_to_csv,
+    rows_to_csv,
+    series_to_csv,
+    trace_to_csv,
+)
+from repro.sim.trace import IntervalTrack, TimeSeries, TraceRecorder
+
+
+def test_series_to_string():
+    series = TimeSeries("watts")
+    series.append(0.0, 0.5)
+    series.append(10.0, 1.25)
+    text = series_to_csv(series)
+    rows = list(csv.reader(io.StringIO(text)))
+    assert rows[0] == ["time_ms", "watts"]
+    assert rows[1] == ["0.000", "0.5"]
+    assert rows[2] == ["10.000", "1.25"]
+
+
+def test_series_to_file(tmp_path):
+    series = TimeSeries()
+    series.append(1.0, 2.0)
+    path = tmp_path / "series.csv"
+    assert series_to_csv(series, str(path)) is None
+    content = path.read_text()
+    assert "time_ms" in content and "1.000" in content
+
+
+def test_series_to_open_handle():
+    series = TimeSeries()
+    series.append(1.0, 2.0)
+    handle = io.StringIO()
+    series_to_csv(series, handle)
+    assert "1.000" in handle.getvalue()
+
+
+def test_intervals_export():
+    track = IntervalTrack("cpu")
+    track.open(time=0.0, label="boot")
+    track.close(time=5.0)
+    track.open(time=10.0)
+    text = intervals_to_csv([track], until=12.0)
+    rows = list(csv.reader(io.StringIO(text)))
+    assert rows[0] == ["track", "start_ms", "end_ms", "label"]
+    assert rows[1] == ["cpu", "0.000", "5.000", "boot"]
+    assert rows[2] == ["cpu", "10.000", "12.000", ""]
+
+
+def test_trace_export_serializes_data():
+    trace = TraceRecorder(lambda: 0.0)
+    trace.record("modem", "state", old="idle", new="ramp")
+    text = trace_to_csv(trace)
+    rows = list(csv.reader(io.StringIO(text)))
+    assert rows[1][1] == "modem"
+    assert '"new": "ramp"' in rows[1][3]
+
+
+def test_rows_export():
+    text = rows_to_csv(["user", "scans"], [["user1", 100], ["user2", 200]])
+    rows = list(csv.reader(io.StringIO(text)))
+    assert rows == [["user", "scans"], ["user1", "100"], ["user2", "200"]]
+
+
+def test_roundtrip_through_real_simulation():
+    """End-to-end: export the power trace of a real transmission."""
+    from repro.core.middleware import PogoSimulation
+    from repro.device.power import PowerMeter
+    from repro.sim.kernel import MINUTE
+
+    sim = PogoSimulation(seed=3)
+    device = sim.add_device(with_email_app=True)
+    meter = PowerMeter(sim.kernel, device.phone.rail, interval_ms=1000.0)
+    meter.start()
+    sim.start()
+    sim.run(duration_ms=6 * MINUTE)
+    text = series_to_csv(meter.samples)
+    rows = list(csv.reader(io.StringIO(text)))
+    assert len(rows) > 300
+    values = [float(v) for _, v in rows[1:]]
+    assert max(values) > 0.5  # the e-mail transmission is visible

@@ -1,0 +1,152 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.sim import Kernel, SimulationError
+from repro.sim.kernel import HOUR, MINUTE, SECOND
+
+
+def test_time_constants():
+    assert SECOND == 1000.0
+    assert MINUTE == 60 * SECOND
+    assert HOUR == 60 * MINUTE
+
+
+def test_schedule_and_run_orders_by_time():
+    kernel = Kernel()
+    fired = []
+    kernel.schedule(30.0, fired.append, "c")
+    kernel.schedule(10.0, fired.append, "a")
+    kernel.schedule(20.0, fired.append, "b")
+    kernel.run()
+    assert fired == ["a", "b", "c"]
+    assert kernel.now == 30.0
+
+
+def test_same_time_events_fire_fifo():
+    kernel = Kernel()
+    fired = []
+    for tag in range(5):
+        kernel.schedule(10.0, fired.append, tag)
+    kernel.run()
+    assert fired == [0, 1, 2, 3, 4]
+
+
+def test_negative_delay_rejected():
+    kernel = Kernel()
+    with pytest.raises(SimulationError):
+        kernel.schedule(-1.0, lambda: None)
+
+
+def test_schedule_in_past_rejected():
+    kernel = Kernel()
+    kernel.schedule(10.0, lambda: None)
+    kernel.run()
+    with pytest.raises(SimulationError):
+        kernel.schedule_at(5.0, lambda: None)
+
+
+def test_cancel_prevents_firing():
+    kernel = Kernel()
+    fired = []
+    handle = kernel.schedule(10.0, fired.append, "x")
+    assert handle.pending
+    assert handle.cancel()
+    kernel.run()
+    assert fired == []
+    assert not handle.pending
+    # Second cancel reports failure.
+    assert not handle.cancel()
+
+
+def test_cancel_after_firing_returns_false():
+    kernel = Kernel()
+    handle = kernel.schedule(1.0, lambda: None)
+    kernel.run()
+    assert handle.fired
+    assert not handle.cancel()
+
+
+def test_run_until_stops_at_horizon_and_advances_clock():
+    kernel = Kernel()
+    fired = []
+    kernel.schedule(10.0, fired.append, "early")
+    kernel.schedule(100.0, fired.append, "late")
+    kernel.run_until(50.0)
+    assert fired == ["early"]
+    assert kernel.now == 50.0
+    kernel.run_until(150.0)
+    assert fired == ["early", "late"]
+
+
+def test_run_until_backwards_rejected():
+    kernel = Kernel()
+    kernel.run_until(100.0)
+    with pytest.raises(SimulationError):
+        kernel.run_until(50.0)
+
+
+def test_events_scheduled_during_run_execute():
+    kernel = Kernel()
+    fired = []
+
+    def chain(n):
+        fired.append(n)
+        if n < 3:
+            kernel.schedule(1.0, chain, n + 1)
+
+    kernel.schedule(0.0, chain, 0)
+    kernel.run()
+    assert fired == [0, 1, 2, 3]
+    assert kernel.now == 3.0
+
+
+def test_max_events_limit():
+    kernel = Kernel()
+    fired = []
+
+    def forever():
+        fired.append(kernel.now)
+        kernel.schedule(1.0, forever)
+
+    kernel.schedule(0.0, forever)
+    executed = kernel.run(max_events=10)
+    assert executed == 10
+    assert len(fired) == 10
+
+
+def test_stop_inside_callback():
+    kernel = Kernel()
+    fired = []
+
+    def stopper():
+        fired.append("stop")
+        kernel.stop()
+
+    kernel.schedule(1.0, stopper)
+    kernel.schedule(2.0, fired.append, "after")
+    kernel.run()
+    assert fired == ["stop"]
+    # A later run picks the remaining event up.
+    kernel.run()
+    assert fired == ["stop", "after"]
+
+
+def test_pending_events_and_next_event_time():
+    kernel = Kernel()
+    assert kernel.next_event_time() is None
+    a = kernel.schedule(5.0, lambda: None)
+    kernel.schedule(10.0, lambda: None)
+    assert kernel.pending_events == 2
+    assert kernel.next_event_time() == 5.0
+    a.cancel()
+    assert kernel.pending_events == 1
+    assert kernel.next_event_time() == 10.0
+
+
+def test_events_executed_counter():
+    kernel = Kernel()
+    for _ in range(7):
+        kernel.schedule(1.0, lambda: None)
+    kernel.run()
+    assert kernel.events_executed == 7

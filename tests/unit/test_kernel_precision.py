@@ -1,0 +1,62 @@
+"""Regression tests for float-precision behaviour at large simulated times.
+
+A 24-day simulation reaches t ≈ 2×10⁹ ms, where the representable float
+step is ~2.4×10⁻⁷ ms.  Re-arming a timer by a residual delay smaller
+than that step would freeze simulated time in an infinite same-instant
+loop — which is exactly what the CPU's sleep check once did at
+t ≈ 1.07×10⁹ ms (day 12.4 of the Table 4 run).
+"""
+
+import pytest
+
+from repro.device.cpu import Cpu, CpuConfig
+from repro.device.power import PowerRail
+from repro.sim import DAY, Kernel
+
+
+def test_cpu_sleep_check_terminates_at_large_times():
+    """The original bug: _maybe_sleep rescheduling itself by a residual
+    delay that rounds to zero time advance."""
+    kernel = Kernel()
+    # Jump deep into a long simulation.
+    kernel.run_until(12 * DAY)
+    rail = PowerRail(kernel)
+    cpu = Cpu(kernel, rail, CpuConfig(awake_hold_ms=1100.0))
+    # Activity with a timestamp whose float residue used to trigger the
+    # same-instant loop.
+    cpu.note_activity()
+    executed = kernel.run(max_events=10_000)
+    assert executed < 10_000, "sleep check looped without advancing time"
+    assert not cpu.awake
+
+
+def test_repeated_wake_sleep_cycles_at_large_times():
+    kernel = Kernel()
+    kernel.run_until(20 * DAY)
+    rail = PowerRail(kernel)
+    cpu = Cpu(kernel, rail, CpuConfig(awake_hold_ms=1100.0))
+    fired = []
+    for i in range(50):
+        cpu.set_alarm(i * 10_000.0 + 5_000.0, fired.append, i)
+    executed = kernel.run(max_events=100_000)
+    assert executed < 100_000
+    assert len(fired) == 50
+    assert not cpu.awake
+
+
+def test_kernel_handles_tiny_delays_without_stalling():
+    kernel = Kernel()
+    kernel.run_until(15 * DAY)
+    ticks = []
+
+    def tick(n):
+        ticks.append(n)
+        if n < 100:
+            # A delay below float resolution at this magnitude: the event
+            # fires at the same representable instant, but the chain is
+            # finite, so the kernel must simply burn through it.
+            kernel.schedule(1e-9, tick, n + 1)
+
+    kernel.schedule(0.0, tick, 0)
+    kernel.run()
+    assert len(ticks) == 101

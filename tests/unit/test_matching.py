@@ -1,0 +1,98 @@
+"""Unit tests for Table 4's match/partial scoring."""
+
+import pytest
+
+from repro.analysis.clustering import Cluster
+from repro.analysis.matching import (
+    MATCH_EXACT,
+    MATCH_MISSING,
+    MATCH_PARTIAL,
+    data_reduction_percent,
+    match_clusters,
+)
+from repro.sim import MINUTE
+
+HOME = {"h1": 0.9, "h2": 0.7}
+OFFICE = {"o1": 0.8, "o2": 0.6}
+
+
+def cluster(entry_min, exit_min, rep, samples=10):
+    return Cluster(entry_min * MINUTE, exit_min * MINUTE, samples, rep)
+
+
+def test_exact_match():
+    truth = [cluster(0, 100, HOME)]
+    collected = [cluster(1, 99, HOME)]
+    report = match_clusters(truth, collected)
+    assert report.results[0].kind == MATCH_EXACT
+    assert report.match_percent == 100.0
+    assert report.partial_percent == 100.0
+
+
+def test_truncated_cluster_is_partial():
+    """The 'later start time' signature from Section 5.3."""
+    truth = [cluster(0, 100, HOME)]
+    collected = [cluster(40, 100, HOME)]  # first half lost to a restart
+    report = match_clusters(truth, collected)
+    assert report.results[0].kind == MATCH_PARTIAL
+    assert report.match_percent == 0.0
+    assert report.partial_percent == 100.0
+
+
+def test_missing_cluster():
+    truth = [cluster(0, 100, HOME)]
+    report = match_clusters(truth, [])
+    assert report.results[0].kind == MATCH_MISSING
+    assert report.partial_percent == 0.0
+
+
+def test_different_place_does_not_match():
+    truth = [cluster(0, 100, HOME)]
+    collected = [cluster(0, 100, OFFICE)]
+    report = match_clusters(truth, collected)
+    assert report.results[0].kind == MATCH_MISSING
+
+
+def test_non_overlapping_interval_does_not_match():
+    truth = [cluster(0, 100, HOME)]
+    collected = [cluster(200, 300, HOME)]
+    report = match_clusters(truth, collected)
+    assert report.results[0].kind == MATCH_MISSING
+
+
+def test_collected_cluster_consumed_once():
+    truth = [cluster(0, 50, HOME), cluster(60, 100, HOME)]
+    collected = [cluster(0, 50, HOME)]
+    report = match_clusters(truth, collected)
+    kinds = [r.kind for r in report.results]
+    assert kinds.count(MATCH_EXACT) == 1
+    assert kinds.count(MATCH_MISSING) == 1
+
+
+def test_best_overlap_wins():
+    truth = [cluster(0, 100, HOME)]
+    collected = [cluster(90, 200, HOME), cluster(2, 98, HOME)]
+    report = match_clusters(truth, collected)
+    assert report.results[0].kind == MATCH_EXACT
+    assert report.results[0].collected.entry_ms == 2 * MINUTE
+
+
+def test_aggregate_percentages():
+    truth = [cluster(0, 50, HOME), cluster(60, 100, HOME), cluster(110, 150, OFFICE)]
+    collected = [cluster(0, 50, HOME), cluster(80, 100, HOME)]
+    report = match_clusters(truth, collected)
+    assert report.total == 3
+    assert report.exact == 1
+    assert report.partial_or_exact == 2
+    assert report.match_percent == pytest.approx(100.0 / 3)
+    assert report.partial_percent == pytest.approx(200.0 / 3)
+
+
+def test_empty_truth():
+    report = match_clusters([], [])
+    assert report.match_percent == 0.0
+
+
+def test_data_reduction():
+    assert data_reduction_percent(1000, 17) == pytest.approx(98.3)
+    assert data_reduction_percent(0, 0) == 0.0

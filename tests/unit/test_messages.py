@@ -1,0 +1,64 @@
+"""Unit tests for message validation, wire format and copying."""
+
+import pytest
+
+from repro.core.messages import (
+    MessageError,
+    copy_message,
+    from_json,
+    message_size_bytes,
+    messages_equal,
+    to_json,
+    validate_message,
+)
+
+
+def test_scalars_and_trees_validate():
+    for value in (1, 1.5, "x", True, None, {"a": [1, {"b": None}]}, [1, 2, 3]):
+        validate_message(value)
+
+
+def test_invalid_types_rejected_with_path():
+    with pytest.raises(MessageError) as exc:
+        validate_message({"outer": {"inner": object()}})
+    assert "$.outer.inner" in str(exc.value)
+    with pytest.raises(MessageError) as exc:
+        validate_message([1, [2, set()]])
+    assert "[1][1]" in str(exc.value)
+
+
+def test_non_string_keys_rejected():
+    with pytest.raises(MessageError):
+        validate_message({1: "x"})
+
+
+def test_json_roundtrip():
+    message = {"b": 1, "a": [True, None, 2.5], "c": {"nested": "x"}}
+    assert from_json(to_json(message)) == message
+
+
+def test_json_is_compact_and_sorted():
+    text = to_json({"b": 1, "a": 2})
+    assert text == '{"a":2,"b":1}'
+
+
+def test_size_counts_utf8_bytes():
+    assert message_size_bytes({"a": 1}) == len('{"a":1}')
+    assert message_size_bytes({"a": "é"}) == len('{"a":"é"}'.encode("utf-8"))
+
+
+def test_copy_is_deep_and_isolated():
+    original = {"list": [1, 2], "map": {"k": "v"}}
+    clone = copy_message(original)
+    clone["list"].append(3)
+    clone["map"]["k"] = "changed"
+    assert original == {"list": [1, 2], "map": {"k": "v"}}
+
+
+def test_copy_converts_tuples_to_lists():
+    assert copy_message({"t": (1, 2)}) == {"t": [1, 2]}
+
+
+def test_messages_equal_structural():
+    assert messages_equal({"a": 1, "b": 2}, {"b": 2, "a": 1})
+    assert not messages_equal({"a": 1}, {"a": 2})

@@ -1,0 +1,75 @@
+"""Unit tests for participation records and reward functions."""
+
+import pytest
+
+from repro.core.participation import (
+    ParticipationRecord,
+    ParticipationTracker,
+    default_reward,
+)
+from repro.net.xmpp import XmppServer
+from repro.sim import HOUR, Kernel, MINUTE
+
+
+def test_default_reward_monotonic():
+    assert default_reward(10.0, 5.0, 100) > default_reward(1.0, 5.0, 100)
+    assert default_reward(10.0, 5.0, 100) > default_reward(10.0, 1.0, 100)
+    assert default_reward(0.0, 0.0, 0) == 0.0
+
+
+def test_record_activity_capping():
+    record = ParticipationRecord("d@x")
+    record.note_activity(0.0, idle_cap_ms=10_000.0)
+    record.note_activity(5_000.0, idle_cap_ms=10_000.0)   # 5 s credited
+    record.note_activity(100_000.0, idle_cap_ms=10_000.0) # capped at 10 s
+    assert record.online_ms == 15_000.0
+    # Snapshot adds at most the cap for the trailing interval.
+    assert record.snapshot_online_ms(10**9, 10_000.0) == 25_000.0
+
+
+def test_tracker_custom_device_filter_and_reward():
+    kernel = Kernel()
+    server = XmppServer(kernel)
+    tracker = ParticipationTracker(
+        kernel,
+        server,
+        is_device=lambda jid: jid.endswith("@phones"),
+        reward=lambda hours, mb, stanzas: stanzas * 2.0,
+    )
+    for jid in ("a@phones", "pc@lab"):
+        server.register(jid)
+    server.add_roster_pair("a@phones", "pc@lab")
+    server.connect("pc@lab", lambda st: None)
+    server.connect("a@phones", lambda st: None)
+    server.submit("a@phones", "pc@lab", {"kind": "data", "n": 1})
+    server.submit("pc@lab", "a@phones", {"kind": "data", "n": 2})
+    kernel.run()
+    assert "pc@lab" not in tracker.records
+    record = tracker.records["a@phones"]
+    assert record.stanzas == 1
+    assert tracker.reward_for("a@phones") == 2.0
+
+
+def test_unknown_jid_zero():
+    kernel = Kernel()
+    tracker = ParticipationTracker(kernel, XmppServer(kernel))
+    assert tracker.online_hours("ghost") == 0.0
+    assert tracker.reward_for("ghost") == 0.0
+
+
+def test_report_ranks_by_reward():
+    kernel = Kernel()
+    server = XmppServer(kernel)
+    tracker = ParticipationTracker(kernel, server)
+    for jid in ("device-1@pogo", "device-2@pogo", "hub@pogo"):
+        server.register(jid)
+    server.add_roster_pair("device-1@pogo", "hub@pogo")
+    server.add_roster_pair("device-2@pogo", "hub@pogo")
+    server.connect("hub@pogo", lambda st: None)
+    for _ in range(5):
+        server.submit("device-2@pogo", "hub@pogo", {"kind": "data", "blob": "x" * 500})
+    server.submit("device-1@pogo", "hub@pogo", {"kind": "data"})
+    kernel.run()
+    report = tracker.report()
+    lines = report.splitlines()
+    assert lines[1].startswith("device-2@pogo")  # bigger contributor first

@@ -1,0 +1,87 @@
+"""Unit tests for per-script power modelling (future work, Section 6)."""
+
+import pytest
+
+from repro.apps import battery_monitor, localization
+from repro.core.middleware import PogoSimulation
+from repro.core.power_model import ScriptPowerModel
+from repro.sim import HOUR, MINUTE
+
+
+def deploy_localization(hours=2.0, seed=31):
+    sim = PogoSimulation(seed=seed)
+    collector = sim.add_collector("alice")
+    device = sim.add_device(world_days=1, with_email_app=True)
+    sim.start()
+    sim.assign(collector, [device])
+    collector.node.deploy(localization.build_experiment(), [device.jid])
+    sim.run(hours=hours)
+    return sim, device
+
+
+def test_estimates_cover_deployed_scripts():
+    sim, device = deploy_localization()
+    model = ScriptPowerModel(device.node)
+    estimates = {e.script: e for e in model.estimate()}
+    assert "localization/scan" in estimates
+    assert "localization/clustering" in estimates
+
+
+def test_scan_script_pays_for_wifi_scanning():
+    sim, device = deploy_localization()
+    model = ScriptPowerModel(device.node)
+    estimates = {e.script: e for e in model.estimate()}
+    scan = estimates["localization/scan"]
+    # ~120 scans in 2 hours at ~1 J each.
+    assert scan.sensor_samples > 100
+    assert scan.sensor_j > 50.0
+    # The clustering script consumes no sensor directly.
+    clustering = estimates["localization/clustering"]
+    assert clustering.sensor_j == 0.0
+
+
+def test_invocation_counts_tracked():
+    sim, device = deploy_localization()
+    model = ScriptPowerModel(device.node)
+    estimates = {e.script: e for e in model.estimate()}
+    # Both device scripts handle one message per scan.
+    assert estimates["localization/scan"].invocations > 100
+    assert estimates["localization/clustering"].invocations > 100
+
+
+def test_modeled_total_bounded_by_measured_energy():
+    """The model must not invent energy the device never drew."""
+    sim, device = deploy_localization()
+    model = ScriptPowerModel(device.node)
+    modeled = sum(e.total_j for e in model.estimate())
+    assert 0.0 < modeled < device.phone.energy_joules
+
+
+def test_heavy_script_dominates_light_one():
+    sim, device = deploy_localization()
+    model = ScriptPowerModel(device.node)
+    estimates = model.estimate()
+    # The scan script (sensor cost) tops the ranking.
+    assert estimates[0].script == "localization/scan"
+
+
+def test_remote_subscription_attributed_to_collector():
+    sim = PogoSimulation(seed=32)
+    collector = sim.add_collector("alice")
+    device = sim.add_device(with_email_app=True)
+    sim.start()
+    sim.assign(collector, [device])
+    collector.node.deploy(battery_monitor.build_experiment(), [device.jid])
+    sim.run(hours=1)
+    model = ScriptPowerModel(device.node)
+    estimates = {e.script: e for e in model.estimate()}
+    key = f"{battery_monitor.EXPERIMENT_ID}/<collector>"
+    assert key in estimates
+    assert estimates[key].sensor_samples > 50
+
+
+def test_report_renders():
+    sim, device = deploy_localization(hours=1.0)
+    text = ScriptPowerModel(device.node).report()
+    assert "localization/scan" in text
+    assert "measured" in text

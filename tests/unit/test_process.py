@@ -1,0 +1,153 @@
+"""Unit tests for generator-based processes and signals."""
+
+import pytest
+
+from repro.sim import Kernel, Process, Signal, SimulationError, spawn
+
+
+def test_process_sleeps_between_yields():
+    kernel = Kernel()
+    times = []
+
+    def worker():
+        times.append(kernel.now)
+        yield 100.0
+        times.append(kernel.now)
+        yield 50.0
+        times.append(kernel.now)
+
+    process = spawn(kernel, worker())
+    kernel.run()
+    assert times == [0.0, 100.0, 150.0]
+    assert process.finished
+
+
+def test_spawn_with_delay():
+    kernel = Kernel()
+    times = []
+
+    def worker():
+        times.append(kernel.now)
+        yield 1.0
+
+    spawn(kernel, worker(), delay=25.0)
+    kernel.run()
+    assert times == [25.0]
+
+
+def test_signal_wakes_waiters_with_payload():
+    kernel = Kernel()
+    signal = Signal(kernel, "ready")
+    got = []
+
+    def worker():
+        payload = yield signal
+        got.append(payload)
+
+    spawn(kernel, worker())
+    kernel.run()
+    assert got == []  # nothing fired yet
+    kernel.schedule(10.0, signal.fire, "hello")
+    kernel.run()
+    assert got == ["hello"]
+    assert signal.fire_count == 1
+
+
+def test_signal_only_wakes_current_waiters():
+    kernel = Kernel()
+    signal = Signal(kernel, "s")
+    woken = kernel.schedule(0.0, lambda: None)  # noqa: F841 - warm the queue
+    count = signal.fire()
+    assert count == 0
+
+
+def test_process_stop_prevents_resume():
+    kernel = Kernel()
+    steps = []
+
+    def worker():
+        steps.append(1)
+        yield 100.0
+        steps.append(2)
+
+    process = spawn(kernel, worker())
+    kernel.run_until(50.0)
+    process.stop()
+    kernel.run()
+    assert steps == [1]
+    assert process.finished
+
+
+def test_process_failure_recorded_and_raised():
+    kernel = Kernel()
+
+    def worker():
+        yield 1.0
+        raise RuntimeError("boom")
+
+    process = spawn(kernel, worker())
+    with pytest.raises(RuntimeError):
+        kernel.run()
+    assert process.finished
+    assert isinstance(process.failed, RuntimeError)
+
+
+def test_double_start_rejected():
+    kernel = Kernel()
+
+    def worker():
+        yield 1.0
+
+    process = spawn(kernel, worker())
+    with pytest.raises(SimulationError):
+        process.start()
+
+
+def test_bad_yield_type_rejected():
+    kernel = Kernel()
+
+    def worker():
+        yield "not a delay"
+
+    spawn(kernel, worker())
+    with pytest.raises(SimulationError):
+        kernel.run()
+
+
+def test_negative_delay_rejected():
+    kernel = Kernel()
+
+    def worker():
+        yield -5.0
+
+    spawn(kernel, worker())
+    with pytest.raises(SimulationError):
+        kernel.run()
+
+
+def test_yield_none_means_immediate_resume():
+    kernel = Kernel()
+    steps = []
+
+    def worker():
+        steps.append(kernel.now)
+        yield
+        steps.append(kernel.now)
+
+    spawn(kernel, worker())
+    kernel.run()
+    assert steps == [0.0, 0.0]
+
+
+def test_signal_remove_waiter():
+    kernel = Kernel()
+    signal = Signal(kernel)
+    calls = []
+    cb = calls.append
+    signal.wait(cb)
+    assert signal.waiter_count == 1
+    signal.remove_waiter(cb)
+    assert signal.waiter_count == 0
+    signal.fire("x")
+    kernel.run()
+    assert calls == []

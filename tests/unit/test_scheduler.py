@@ -1,0 +1,158 @@
+"""Unit tests for the Pogo scheduler (device) and simple scheduler (PC)."""
+
+import pytest
+
+from repro.core.scheduler import PogoScheduler, SimpleScheduler
+from repro.device.cpu import Cpu, CpuConfig
+from repro.device.power import PowerRail
+from repro.sim import Kernel
+
+
+def make_pogo(hold_ms=500.0):
+    kernel = Kernel()
+    cpu = Cpu(kernel, PowerRail(kernel), CpuConfig(awake_hold_ms=hold_ms))
+    return kernel, cpu, PogoScheduler(kernel, cpu)
+
+
+def test_submit_runs_task_and_releases_lock():
+    kernel, cpu, scheduler = make_pogo()
+    ran = []
+    scheduler.submit(ran.append, "task")
+    kernel.run_until(100.0)
+    assert ran == ["task"]
+    assert cpu.wake_locks_held == 0
+    assert scheduler.tasks_run == 1
+
+
+def test_scheduled_task_uses_alarm_and_wakes_cpu():
+    kernel, cpu, scheduler = make_pogo(hold_ms=200.0)
+    kernel.run_until(1000.0)
+    assert not cpu.awake
+    ran = []
+    scheduler.schedule(5000.0, lambda: ran.append(kernel.now))
+    kernel.run_until(10_000.0)
+    assert ran == [6000.0]
+    assert cpu.wake_count == 1
+
+
+def test_schedule_cancel():
+    kernel, _, scheduler = make_pogo()
+    ran = []
+    task = scheduler.schedule(100.0, ran.append, 1)
+    task.cancel()
+    kernel.run_until(1000.0)
+    assert ran == []
+
+
+def test_repeating_schedule():
+    kernel, _, scheduler = make_pogo()
+    times = []
+    task = scheduler.schedule_repeating(1000.0, lambda: times.append(kernel.now))
+    kernel.run_until(3500.0)
+    assert len(times) == 3
+    task.cancel()
+    kernel.run_until(6000.0)
+    assert len(times) == 3
+
+
+def test_serialized_tasks_run_in_fifo_order():
+    kernel, _, scheduler = make_pogo()
+    order = []
+
+    def task(n):
+        order.append(n)
+        if n == 0:
+            # Submitting more work for the same key while running must
+            # not interleave.
+            scheduler.submit(task, 2, serial_key="script")
+
+    scheduler.submit(task, 0, serial_key="script")
+    scheduler.submit(task, 1, serial_key="script")
+    kernel.run_until(100.0)
+    assert order == [0, 1, 2]
+
+
+def test_different_keys_are_independent():
+    kernel, _, scheduler = make_pogo()
+    order = []
+    scheduler.submit(order.append, "a1", serial_key="a")
+    scheduler.submit(order.append, "b1", serial_key="b")
+    kernel.run_until(100.0)
+    assert set(order) == {"a1", "b1"}
+
+
+def test_errors_contained_and_reported():
+    kernel, cpu, scheduler = make_pogo()
+    errors = []
+    scheduler.on_error.append(lambda key, exc: errors.append((key, type(exc).__name__)))
+
+    def boom():
+        raise RuntimeError("x")
+
+    scheduler.submit(boom, serial_key="s")
+    scheduler.submit(lambda: None, serial_key="s")  # still runs after error
+    kernel.run_until(100.0)
+    assert errors == [("s", "RuntimeError")]
+    assert scheduler.task_errors == 1
+    assert scheduler.tasks_run == 2
+    assert cpu.wake_locks_held == 0
+
+
+def test_stop_and_restart():
+    kernel, _, scheduler = make_pogo()
+    ran = []
+    scheduler.stop()
+    scheduler.submit(ran.append, 1)
+    task = scheduler.schedule(10.0, ran.append, 2)
+    assert task.cancelled
+    kernel.run_until(100.0)
+    assert ran == []
+    scheduler.restart()
+    scheduler.submit(ran.append, 3)
+    kernel.run_until(200.0)
+    assert ran == [3]
+
+
+def test_simple_scheduler_matches_interface():
+    kernel = Kernel()
+    scheduler = SimpleScheduler(kernel)
+    ran = []
+    scheduler.submit(ran.append, "now")
+    scheduler.schedule(50.0, ran.append, "later")
+    task = scheduler.schedule_repeating(100.0, lambda: ran.append("tick"))
+    kernel.run_until(250.0)
+    assert ran == ["now", "later", "tick", "tick"]
+    task.cancel()
+    kernel.run_until(1000.0)
+    assert ran.count("tick") == 2
+
+
+def test_simple_scheduler_serial_order():
+    kernel = Kernel()
+    scheduler = SimpleScheduler(kernel)
+    order = []
+    for n in range(5):
+        scheduler.submit(order.append, n, serial_key="k")
+    kernel.run_until(10.0)
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_simple_scheduler_error_containment():
+    kernel = Kernel()
+    scheduler = SimpleScheduler(kernel)
+    errors = []
+    scheduler.on_error.append(lambda key, exc: errors.append(key))
+
+    def boom():
+        raise ValueError("nope")
+
+    scheduler.submit(boom, serial_key="s")
+    scheduler.submit(lambda: None, serial_key="s")
+    kernel.run_until(10.0)
+    assert errors == ["s"]
+    assert scheduler.tasks_run == 2
+
+
+def test_simple_scheduler_invalid_interval():
+    with pytest.raises(ValueError):
+        SimpleScheduler(Kernel()).schedule_repeating(0.0, lambda: None)

@@ -1,0 +1,215 @@
+"""Unit tests for the script sandbox, API surface and watchdog."""
+
+import pytest
+
+from repro.core.api import API_METHOD_COUNT, api_method_names
+from repro.core.node import CollectorNode, DeviceNode
+from repro.core.multibroker import CollectorContext
+from repro.core.scripting import ScriptError, ScriptHost, ScriptTimeoutError, Watchdog
+from repro.net.xmpp import XmppServer
+from repro.sim import Kernel
+
+
+def make_host(source, name="test", watchdog_ms=200.0, autoload=True):
+    """A script host inside a collector context (simplest harness)."""
+    kernel = Kernel()
+    server = XmppServer(kernel)
+    node = CollectorNode(kernel, server, "pc@x")
+    context = CollectorContext(node, "exp")
+    host = ScriptHost(context, name, source, watchdog_ms=watchdog_ms)
+    if autoload:
+        host.load()
+        kernel.run_until(10.0)
+    return kernel, node, context, host
+
+
+def test_api_has_exactly_eleven_methods():
+    assert API_METHOD_COUNT == 11
+    assert len(api_method_names()) == 11
+
+
+def test_script_body_runs_and_sets_metadata():
+    _, _, _, host = make_host(
+        "setDescription('my experiment')\nsetAutoStart(False)\n"
+    )
+    assert host.description == "my experiment"
+    assert host.autostart is False
+
+
+def test_start_function_called_when_autostart():
+    kernel, _, _, host = make_host(
+        "ran = []\n"
+        "def start():\n"
+        "    ran.append(1)\n"
+    )
+    assert host.namespace["ran"] == [1]
+
+
+def test_autostart_false_defers_start():
+    kernel, _, _, host = make_host(
+        "setAutoStart(False)\n"
+        "ran = []\n"
+        "def start():\n"
+        "    ran.append(1)\n"
+    )
+    assert host.namespace["ran"] == []
+    host.start()
+    kernel.run_until(20.0)
+    assert host.namespace["ran"] == [1]
+
+
+def test_print_and_logs():
+    _, _, _, host = make_host(
+        "print('hello', 42)\n"
+        "log('a line')\n"
+        "logTo('special', 'x', 'y')\n"
+    )
+    assert host.debug_lines == ["hello 42"]
+    assert host.logs["default"] == ["a line"]
+    assert host.logs["special"] == ["x y"]
+
+
+def test_json_function():
+    _, _, _, host = make_host("text = json({'b': 1, 'a': [True]})\n")
+    assert host.namespace["text"] == '{"a":[true],"b":1}'
+
+
+def test_freeze_thaw_roundtrip_and_overwrite():
+    kernel, node, context, host = make_host(
+        "first = thaw()\n"
+        "freeze({'count': 1})\n"
+        "freeze({'count': 2})\n"
+        "second = thaw()\n"
+    )
+    assert host.namespace["first"] is None
+    assert host.namespace["second"] == {"count": 2}
+
+
+def test_freeze_survives_update():
+    """The Section 5.3 fix: state persists across script updates."""
+    kernel, node, context, host = make_host("freeze({'kept': True})\n")
+    host.update("recovered = thaw()\n")
+    kernel.run_until(20.0)
+    assert host.namespace["recovered"] == {"kept": True}
+    assert host.load_count == 2
+
+
+def test_set_timeout_runs_later():
+    kernel, _, _, host = make_host(
+        "ran = []\n"
+        "def later():\n"
+        "    ran.append(1)\n"
+        "setTimeout(later, 500)\n"
+    )
+    assert host.namespace["ran"] == []
+    kernel.run_until(1000.0)
+    assert host.namespace["ran"] == [1]
+
+
+def test_stop_cancels_timers_and_subscriptions():
+    kernel, _, context, host = make_host(
+        "ran = []\n"
+        "def later():\n"
+        "    ran.append(1)\n"
+        "setTimeout(later, 500)\n"
+        "subscribe('ch', lambda m: ran.append(m))\n"
+    )
+    assert context.broker.has_subscribers("ch")
+    host.stop()
+    kernel.run_until(1000.0)
+    assert host.namespace["ran"] == []
+    assert not context.broker.has_subscribers("ch")
+
+
+def test_subscribe_and_publish_within_context():
+    kernel, _, _, host = make_host(
+        "got = []\n"
+        "subscribe('data', lambda m: got.append(m))\n"
+        "publish('data', {'n': 7})\n"
+    )
+    kernel.run_until(20.0)
+    assert host.namespace["got"] == [{"n": 7}]
+
+
+def test_sandbox_blocks_import():
+    _, _, _, host = make_host("import os\n", autoload=False)
+    with pytest.raises(ScriptError):
+        host.load()
+
+
+def test_sandbox_blocks_open_and_eval():
+    for line in ("open('/etc/passwd')", "eval('1+1')", "exec('x=1')", "__import__('os')"):
+        _, _, _, host = make_host(f"{line}\n", autoload=False)
+        with pytest.raises(ScriptError):
+            host.load()
+
+
+def test_sandbox_provides_math():
+    _, _, _, host = make_host("root = math.sqrt(16.0)\n")
+    assert host.namespace["root"] == 4.0
+
+
+def test_sandbox_allows_classes():
+    _, _, _, host = make_host(
+        "class Acc:\n"
+        "    def __init__(self):\n"
+        "        self.total = 0\n"
+        "    def add(self, n):\n"
+        "        self.total += n\n"
+        "acc = Acc()\n"
+        "acc.add(3)\n"
+    )
+    assert host.namespace["acc"].total == 3
+
+
+def test_watchdog_kills_infinite_loop_at_load():
+    source = "while True:\n    pass\n"
+    _, _, _, host = make_host(source, autoload=False, watchdog_ms=50.0)
+    with pytest.raises(ScriptError):
+        host.load()
+    assert host.watchdog.violations == 1
+
+
+def test_watchdog_kills_runaway_handler_but_script_survives():
+    kernel, _, context, host = make_host(
+        "spin = []\n"
+        "def handler(msg):\n"
+        "    if msg == 'spin':\n"
+        "        while True:\n"
+        "            spin.append(1)\n"
+        "    else:\n"
+        "        spin.append(msg)\n"
+        "subscribe('ch', handler)\n",
+        watchdog_ms=50.0,
+    )
+    context.broker.publish("ch", "spin")
+    kernel.run_until(100.0)
+    assert any(isinstance(e, ScriptTimeoutError) for e in host.errors)
+    # The script keeps running: later messages are still delivered.
+    context.broker.publish("ch", "ok")
+    kernel.run_until(200.0)
+    assert host.namespace["spin"][-1] == "ok"
+
+
+def test_watchdog_guard_passes_results_through():
+    watchdog = Watchdog(timeout_ms=1000.0)
+    assert watchdog.guard(lambda a, b: a + b, 1, 2) == 3
+    assert watchdog.violations == 0
+
+
+def test_handler_errors_recorded_not_raised():
+    kernel, _, context, host = make_host(
+        "def handler(msg):\n"
+        "    raise ValueError('from script')\n"
+        "subscribe('ch', handler)\n"
+    )
+    context.broker.publish("ch", 1)
+    kernel.run_until(50.0)
+    assert len(host.errors) == 1
+    assert isinstance(host.errors[0], ValueError)
+
+
+def test_syntax_error_fails_load():
+    _, _, _, host = make_host("def broken(:\n", autoload=False)
+    with pytest.raises((ScriptError, SyntaxError)):
+        host.load()

@@ -1,0 +1,83 @@
+"""Unit tests for the Table 2 SLOC counter."""
+
+import pytest
+
+from repro.analysis.sloc import count_scripts, count_sloc
+
+
+def test_python_counting():
+    source = (
+        "# a comment\n"
+        "\n"
+        "x = 1\n"
+        "def f():\n"
+        "    return x  # trailing comments still count as code\n"
+    )
+    count = count_sloc(source)
+    assert count.sloc == 3
+    assert count.comment == 1
+    assert count.blank == 1
+    assert count.total == 5
+    assert count.size_bytes == len(source.encode())
+
+
+def test_python_docstrings_counted_as_comments():
+    source = '"""Module\ndocstring spanning\nlines."""\nx = 1\n'
+    count = count_sloc(source)
+    assert count.comment == 3
+    assert count.sloc == 1
+
+
+def test_python_single_line_docstring():
+    source = '"""One line."""\nx = 1\n'
+    count = count_sloc(source)
+    assert count.comment == 1
+    assert count.sloc == 1
+
+
+def test_javascript_counting():
+    source = (
+        "// RogueFinder\n"
+        "var x = 1;\n"
+        "/* block\n"
+        "   comment */\n"
+        "\n"
+        "publish(x);\n"
+    )
+    count = count_sloc(source, language="javascript")
+    assert count.sloc == 2
+    assert count.comment == 3
+    assert count.blank == 1
+
+
+def test_javascript_single_line_block():
+    source = "/* inline */\ncode();\n"
+    count = count_sloc(source, language="javascript")
+    assert count.comment == 1
+    assert count.sloc == 1
+
+
+def test_unknown_language_rejected():
+    with pytest.raises(ValueError):
+        count_sloc("x", language="cobol")
+
+
+def test_empty_source():
+    count = count_sloc("")
+    assert count.sloc == 0
+    assert count.total == 0
+
+
+def test_count_scripts_includes_total_row():
+    rows = count_scripts({"b": "x = 1\n", "a": "y = 2\nz = 3\n"})
+    names = [name for name, _ in rows]
+    assert names == ["a", "b", "total"]
+    total = rows[-1][1]
+    assert total.sloc == 3
+    assert total.size_bytes == len("x = 1\n") + len("y = 2\nz = 3\n")
+
+
+def test_counts_are_consistent():
+    source = "# c\n\nx=1\n"
+    c = count_sloc(source)
+    assert c.sloc + c.blank + c.comment == c.total
