@@ -1,0 +1,169 @@
+"""Performance: envelope publish path vs the seed's per-hop walks.
+
+Not a paper table — this benchmark guards the envelope refactor's reason
+to exist.  The seed re-did per-message work at every hop of the publish
+path: a validation walk at the broker, a deep copy per local subscriber,
+and a fresh validate+``json.dumps`` at the buffer, the transport and the
+XMPP switch.  The envelope does each unit of work once (validate+freeze
+at ingest, one cached serialization) and splices the cached text into
+enclosing stanzas.
+
+The legacy path below replicates the seed implementation *exactly*
+(checked against git history), so the measured ratio is refactor-vs-seed
+rather than refactor-vs-strawman.  Workload: a 50-device fleet's worth
+of telemetry publishes, two local subscribers each, then the three
+downstream serialization hops every remote-bound message paid.
+"""
+
+import json
+import time
+
+from repro.core.broker import Broker
+from repro.core.envelope import Envelope
+from repro.core.messages import message_size_bytes, to_json
+
+DEVICES = 50
+MESSAGES_PER_DEVICE = 40
+SUBSCRIBERS = 2
+#: Downstream hops that re-serialized the stanza in the seed: buffer
+#: persist, transport size accounting, switchboard size accounting.
+SIZE_HOPS = 3
+ROUNDS = 5
+
+_CANONICAL = {"separators": (",", ":"), "sort_keys": True, "ensure_ascii": False}
+_SCALARS = (str, int, float, bool, type(None))
+
+
+def make_workload():
+    """One telemetry message per (device, tick), like the Table 3 app."""
+    messages = []
+    for device in range(DEVICES):
+        for tick in range(MESSAGES_PER_DEVICE):
+            messages.append(
+                {
+                    "device": f"phone-{device:03d}",
+                    "timestamp": 1_000.0 * tick,
+                    "level": (device * 7 + tick) % 100 / 100.0,
+                    "voltage": 3.7 + (tick % 10) / 50.0,
+                    "charging": tick % 8 == 0,
+                    "samples": [float(device + i) for i in range(8)],
+                    "meta": {"seq": tick, "carrier": "kpn", "iface": "3g"},
+                }
+            )
+    return messages
+
+
+# ---------------------------------------------------------------------------
+# Legacy path: the seed's implementation, replicated verbatim
+# ---------------------------------------------------------------------------
+
+
+def legacy_validate(value, _path="$"):
+    if isinstance(value, _SCALARS):
+        return
+    if isinstance(value, dict):
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise TypeError(f"non-string key {key!r} at {_path}")
+            legacy_validate(item, f"{_path}.{key}")
+        return
+    if isinstance(value, (list, tuple)):
+        for index, item in enumerate(value):
+            legacy_validate(item, f"{_path}[{index}]")
+        return
+    raise TypeError(f"unsupported type {type(value).__name__} at {_path}")
+
+
+def legacy_copy(value):
+    if isinstance(value, _SCALARS):
+        return value
+    if isinstance(value, dict):
+        return {key: legacy_copy(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [legacy_copy(item) for item in value]
+    raise TypeError(f"unsupported type {type(value).__name__}")
+
+
+def legacy_to_json(value):
+    legacy_validate(value)
+    return json.dumps(value, **_CANONICAL)
+
+
+def run_legacy(messages):
+    sink = []
+    handlers = [sink.append for _ in range(SUBSCRIBERS)]
+    total_bytes = 0
+    for seq, message in enumerate(messages):
+        # Broker: validate, then one deep copy per subscriber.
+        legacy_validate(message)
+        for handler in handlers:
+            handler(legacy_copy(message))
+        # Buffer persist: the bare dumps the seed's SqliteStore used.
+        json.dumps(message)
+        # Reliable-link stanza, re-serialized at each accounting hop.
+        stanza = {"kind": "env", "seq": seq, "base": 0, "ack": 0, "payload": message}
+        for _ in range(SIZE_HOPS):
+            total_bytes = len(legacy_to_json(stanza).encode("utf-8"))
+    return sink, total_bytes
+
+
+# ---------------------------------------------------------------------------
+# Envelope path: the production code under test
+# ---------------------------------------------------------------------------
+
+
+def run_envelope(messages):
+    broker = Broker()
+    sink = []
+    for _ in range(SUBSCRIBERS):
+        broker.subscribe("telemetry", sink.append)
+    total_bytes = 0
+    for seq, message in enumerate(messages):
+        envelope = Envelope.wrap(message)
+        broker.publish("telemetry", envelope)
+        # Buffer persist: canonical text, answered from the cache.
+        to_json(envelope)
+        stanza = {"kind": "env", "seq": seq, "base": 0, "ack": 0, "payload": envelope}
+        for _ in range(SIZE_HOPS):
+            total_bytes = message_size_bytes(stanza)
+    return sink, total_bytes
+
+
+def best_of(fn, messages, rounds=ROUNDS):
+    best = float("inf")
+    result = None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        result = fn(messages)
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def test_perf_envelope_publish_path(report):
+    messages = make_workload()
+    count = len(messages)
+
+    legacy_s, (legacy_sink, legacy_bytes) = best_of(run_legacy, messages)
+    envelope_s, (envelope_sink, envelope_bytes) = best_of(run_envelope, messages)
+
+    # Equivalence first: same deliveries, same wire accounting.
+    assert len(legacy_sink) == len(envelope_sink) == count * SUBSCRIBERS
+    assert legacy_sink[0] == envelope_sink[0]
+    assert legacy_bytes == envelope_bytes
+
+    speedup = legacy_s / envelope_s
+    lines = [
+        "Envelope publish path — "
+        f"{DEVICES} devices x {MESSAGES_PER_DEVICE} messages, "
+        f"{SUBSCRIBERS} subscribers, {SIZE_HOPS} serialization hops",
+        "",
+        f"  legacy (seed) path     : {legacy_s*1000:8.1f} ms "
+        f"({count/legacy_s:,.0f} msg/s)",
+        f"  envelope path          : {envelope_s*1000:8.1f} ms "
+        f"({count/envelope_s:,.0f} msg/s)",
+        f"  speedup                : {speedup:.2f}x",
+    ]
+    report("perf_envelope", "\n".join(lines))
+
+    # The refactor must pay for itself on the 50-device workload.
+    assert speedup >= 1.3

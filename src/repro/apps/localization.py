@@ -136,7 +136,7 @@ def store(qid, fix):
 def handle_cluster(msg):
     counter[0] += 1
     qid = counter[0]
-    pending[qid] = msg
+    pending[qid] = msg.copy()
     publish('geo-lookup', {'id': qid, 'vector': msg['representative']})
 
     def give_up():

@@ -12,6 +12,7 @@ table3           Table 3: hourly energy per carrier, with/without Pogo
 table4           Table 4: the full deployment study (slow; supports --scale)
 anonytl          parse/compile/run an AnonyTL task file (Listing 1 format)
 power-report     per-script resource estimates after a simulated run
+metrics          kernel metrics plane report after a simulated run
 
 Every command accepts ``--seed`` and prints a deterministic report.
 """
@@ -57,6 +58,12 @@ def _build_parser() -> argparse.ArgumentParser:
 
     power = sub.add_parser("power-report", help="per-script power estimates")
     power.add_argument("--hours", type=float, default=6.0)
+
+    metrics = sub.add_parser("metrics", help="kernel metrics plane report")
+    metrics.add_argument("--devices", type=int, default=3)
+    metrics.add_argument("--hours", type=float, default=1.0)
+    metrics.add_argument("--all", action="store_true",
+                         help="include zero-valued counters")
 
     return parser
 
@@ -274,6 +281,25 @@ def cmd_power_report(args) -> int:
     return 0
 
 
+def cmd_metrics(args) -> int:
+    from .apps import battery_monitor
+    from .core.middleware import PogoSimulation
+
+    sim = PogoSimulation(seed=args.seed)
+    collector = sim.add_collector("cli")
+    devices = [sim.add_device(with_email_app=True) for _ in range(args.devices)]
+    sim.start()
+    sim.assign(collector, devices)
+    collector.node.deploy(battery_monitor.build_experiment(), [d.jid for d in devices])
+    sim.run(hours=args.hours)
+    print(
+        f"metrics after {args.hours} h with {args.devices} device(s) "
+        f"(seed {args.seed}):"
+    )
+    print(sim.kernel.metrics.report(include_zero=args.all))
+    return 0
+
+
 _COMMANDS = {
     "quickstart": cmd_quickstart,
     "localization": cmd_localization,
@@ -283,6 +309,7 @@ _COMMANDS = {
     "table4": cmd_table4,
     "anonytl": cmd_anonytl,
     "power-report": cmd_power_report,
+    "metrics": cmd_metrics,
 }
 
 

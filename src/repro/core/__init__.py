@@ -18,6 +18,14 @@ from .buffer import (
 )
 from .context import LINK_OWNER, DeviceContext
 from .deployment import Experiment
+from .envelope import (
+    Envelope,
+    FrozenDict,
+    FrozenList,
+    canonical_json,
+    freeze_message,
+    thaw_message,
+)
 from .messages import (
     MessageError,
     copy_message,
@@ -69,6 +77,12 @@ __all__ = [
     "LINK_OWNER",
     "DeviceContext",
     "Experiment",
+    "Envelope",
+    "FrozenDict",
+    "FrozenList",
+    "canonical_json",
+    "freeze_message",
+    "thaw_message",
     "MessageError",
     "copy_message",
     "from_json",

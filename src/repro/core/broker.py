@@ -24,7 +24,8 @@ from __future__ import annotations
 import itertools
 from typing import Any, Callable, Dict, List, Optional
 
-from .messages import copy_message, validate_message
+from .envelope import Envelope
+from .messages import validate_message
 
 #: Signature of subscription-change listeners: (channel, subscription, change)
 SubscriptionListener = Callable[[str, "Subscription", str], None]
@@ -103,6 +104,7 @@ class Broker:
         self,
         name: str = "broker",
         deliver: Optional[Callable[[Subscription, Any], None]] = None,
+        metrics=None,
     ) -> None:
         self.name = name
         self._sub_ids = itertools.count(1)
@@ -112,6 +114,11 @@ class Broker:
         self._deliver = deliver or (lambda subscription, message: subscription.handler(message))
         self.publish_count = 0
         self.delivery_count = 0
+        # Pre-bound metric counters (kernel metrics plane); None-guarded so
+        # stand-alone brokers in unit tests work without a kernel.
+        self._m_publishes = metrics.counter("broker.publishes") if metrics else None
+        self._m_deliveries = metrics.counter("broker.deliveries") if metrics else None
+        self._m_copies_avoided = metrics.counter("broker.copies_avoided") if metrics else None
 
     def _next_sub_id(self) -> int:
         return next(self._sub_ids)
@@ -162,11 +169,17 @@ class Broker:
     def publish(self, channel: str, message: Any) -> int:
         """Deliver ``message`` to all active subscriptions on ``channel``.
 
-        Each subscriber receives its own deep copy, so handlers cannot
-        interfere with one another.  Returns the number of deliveries.
+        The message is wrapped in an :class:`Envelope` — validated once,
+        frozen — and every subscriber receives the *same* immutable view,
+        so handlers cannot interfere with one another (mutation raises
+        instead of silently diverging; handlers that edit take
+        ``message.copy()``).  Returns the number of deliveries.
         """
-        validate_message(message)
+        envelope = Envelope.wrap(message)
+        payload = envelope.payload
         self.publish_count += 1
+        if self._m_publishes is not None:
+            self._m_publishes.inc()
         delivered = 0
         for subscription in list(self._subscriptions.get(channel, [])):
             if not subscription.active:
@@ -174,7 +187,13 @@ class Broker:
             subscription.delivery_count += 1
             self.delivery_count += 1
             delivered += 1
-            self._deliver(subscription, copy_message(message))
+            self._deliver(subscription, payload)
+        if delivered:
+            if self._m_deliveries is not None:
+                self._m_deliveries.inc(delivered)
+            # One shared frozen view replaced `delivered` deep copies.
+            if self._m_copies_avoided is not None:
+                self._m_copies_avoided.inc(delivered)
         return delivered
 
     # ------------------------------------------------------------------

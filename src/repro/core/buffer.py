@@ -22,12 +22,12 @@ used by the tests to prove the two behave identically.
 from __future__ import annotations
 
 import itertools
-import json
 import sqlite3
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, List, Optional, Tuple
 
 from ..sim.kernel import HOUR, Kernel
+from .messages import from_json, to_json
 
 #: The deployment's configured maximum message age.
 DEFAULT_MAX_AGE_MS = 24 * HOUR
@@ -94,9 +94,14 @@ class SqliteStore(MessageStore):
         self._conn.commit()
 
     def append(self, message: BufferedMessage) -> None:
+        # Canonical encoding (compact, key-sorted), exactly what
+        # to_json/message_size_bytes account on the wire — a bare
+        # json.dumps here persisted *different* bytes than the sizes the
+        # evaluation reports, and re-serialized envelope payloads that
+        # already carry cached canonical text.
         self._conn.execute(
             "INSERT INTO outbox (id, created_ms, destination, payload) VALUES (?, ?, ?, ?)",
-            (message.id, message.created_ms, message.destination, json.dumps(message.payload)),
+            (message.id, message.created_ms, message.destination, to_json(message.payload)),
         )
         self._conn.commit()
 
@@ -113,7 +118,7 @@ class SqliteStore(MessageStore):
             "SELECT id, created_ms, destination, payload FROM outbox ORDER BY id"
         ).fetchall()
         return [
-            BufferedMessage(row[0], row[1], row[2], json.loads(row[3])) for row in rows
+            BufferedMessage(row[0], row[1], row[2], from_json(row[3])) for row in rows
         ]
 
     def __len__(self) -> int:
@@ -142,6 +147,9 @@ class MessageBuffer:
         self.enqueued = 0
         self.drained = 0
         self.expired = 0
+        self._m_enqueued = kernel.metrics.counter("buffer.enqueued")
+        self._m_drained = kernel.metrics.counter("buffer.drained")
+        self._m_expired = kernel.metrics.counter("buffer.expired")
 
     def enqueue(self, destination: str, payload: Any) -> BufferedMessage:
         message = BufferedMessage(
@@ -152,6 +160,7 @@ class MessageBuffer:
         )
         self.store.append(message)
         self.enqueued += 1
+        self._m_enqueued.inc()
         return message
 
     def __len__(self) -> int:
@@ -173,6 +182,7 @@ class MessageBuffer:
         doomed = [m.id for m in self.store.all_messages() if m.created_ms < cutoff]
         self.store.remove(doomed)
         self.expired += len(doomed)
+        self._m_expired.inc(len(doomed))
         return len(doomed)
 
     def peek_batches(self) -> List[Tuple[str, List[BufferedMessage]]]:
@@ -188,3 +198,4 @@ class MessageBuffer:
         ids = [m.id for m in messages]
         self.store.remove(ids)
         self.drained += len(ids)
+        self._m_drained.inc(len(ids))

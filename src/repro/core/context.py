@@ -34,7 +34,7 @@ from .deployment import (
     sub_add_op,
     sub_change_op,
 )
-from .messages import copy_message
+from .envelope import Envelope
 from .scripting import ScriptHost
 
 #: Owner tag for remote-proxy subscriptions.
@@ -52,7 +52,9 @@ class DeviceContext:
         self.node = node
         self.experiment_id = experiment_id
         self.collector_jid = collector_jid
-        self.broker = Broker(name=f"{experiment_id}@{node.jid}")
+        self.broker = Broker(
+            name=f"{experiment_id}@{node.jid}", metrics=node.kernel.metrics
+        )
         self.scripts: Dict[str, ScriptHost] = {}
         #: remote subscription id (collector side) -> proxy Subscription.
         self.remote_subs: Dict[int, Subscription] = {}
@@ -102,34 +104,39 @@ class DeviceContext:
     # Publishing
     # ------------------------------------------------------------------
     def publish_from_script(self, script: ScriptHost, channel: str, message: Any) -> None:
-        self.broker.publish(channel, message)
-        self._forward_if_remote_interest(channel, message)
+        envelope = Envelope.wrap(message)
+        self.broker.publish(channel, envelope)
+        self._forward_if_remote_interest(channel, envelope)
 
     def publish_internal(self, channel: str, message: Any) -> int:
         """Sensor-manager publishes (sensors reach every context)."""
-        delivered = self.broker.publish(channel, message)
-        self._forward_if_remote_interest(channel, message)
+        envelope = Envelope.wrap(message)
+        delivered = self.broker.publish(channel, envelope)
+        self._forward_if_remote_interest(channel, envelope)
         return delivered
 
-    def _forward_if_remote_interest(self, channel: str, message: Any) -> None:
+    def _forward_if_remote_interest(self, channel: str, envelope: Envelope) -> None:
         if any(
             sub.owner == LINK_OWNER and sub.active
             for sub in self.broker.subscriptions(channel)
         ):
             self.forwarded_pubs += 1
+            # The envelope travels inside the pub op: the buffer, the
+            # transport and the switch all reuse its cached JSON/size.
             self.node.send_to(
-                self.collector_jid, pub_op(self.experiment_id, channel, message)
+                self.collector_jid, pub_op(self.experiment_id, channel, envelope)
             )
 
     def deliver_remote(self, channel: str, message: Any) -> int:
         """Deliver a pub that arrived from the collector to local scripts."""
+        payload = Envelope.wrap(message).payload
         delivered = 0
         for sub in list(self.broker.subscriptions(channel)):
             if sub.owner == LINK_OWNER:
                 continue
             sub.delivery_count += 1
             delivered += 1
-            sub.handler(copy_message(message))
+            sub.handler(payload)
         return delivered
 
     # ------------------------------------------------------------------

@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
+from .envelope import Envelope
+
 #: Create the device-side counterpart context for an experiment.  Sent
 #: before any deploy/sub op so that experiments without device scripts
 #: (pure sensor collection) still get a context on the device.
@@ -53,7 +55,19 @@ def teardown_op(experiment_id: str) -> Dict[str, Any]:
 
 
 def pub_op(experiment_id: str, channel: str, message: Any) -> Dict[str, Any]:
-    return {"op": OP_PUB, "ctx": experiment_id, "channel": channel, "msg": message}
+    """A published message crossing the network boundary.
+
+    The ``msg`` leaf is always an :class:`Envelope`: wrapping here (a
+    no-op for the already-wrapped hot path) means every remote-bound pub
+    carries its validated payload and cached canonical JSON with it, so
+    downstream hops splice instead of re-serializing.
+    """
+    return {
+        "op": OP_PUB,
+        "ctx": experiment_id,
+        "channel": channel,
+        "msg": Envelope.wrap(message),
+    }
 
 
 def sub_add_op(

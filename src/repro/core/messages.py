@@ -8,8 +8,15 @@ In the Python reproduction messages are plain dicts/lists/scalars.  This
 module provides validation (so scripts cannot publish un-serializable
 objects and have them explode later inside the transport), canonical JSON
 encoding, wire-size accounting (Table 4's "Size" columns measure exactly
-these byte counts) and deep copying (local deliveries must not allow one
-subscriber to mutate what another receives).
+these byte counts) and deep copying.
+
+Since the envelope refactor the hot publish path carries
+:class:`~repro.core.envelope.Envelope` objects instead of raw dicts —
+validated once, frozen, with canonical JSON cached.  Every function here
+is envelope-aware, so stanzas that embed envelopes (batches of pubs)
+serialize by splicing the cached payload text rather than walking the
+tree again.  The dict-based API below remains the compatibility surface
+for scripts, tests and tools.
 """
 
 from __future__ import annotations
@@ -17,20 +24,38 @@ from __future__ import annotations
 import json
 from typing import Any
 
-#: Types allowed at message leaves.
-_SCALARS = (str, int, float, bool, type(None))
+from .envelope import (
+    SCALARS as _SCALARS,
+    Envelope,
+    FrozenDict,
+    FrozenList,
+    MessageError,
+    canonical_json,
+)
 
-
-class MessageError(TypeError):
-    """Raised when a value cannot be used as a Pogo message."""
+__all__ = [
+    "MessageError",
+    "validate_message",
+    "to_json",
+    "from_json",
+    "message_size_bytes",
+    "copy_message",
+    "messages_equal",
+]
 
 
 def validate_message(value: Any, _path: str = "$") -> None:
     """Ensure ``value`` is a JSON-able tree of key/value pairs.
 
     Raises :class:`MessageError` naming the offending path otherwise.
+    Envelopes and frozen subtrees validated at ingest are trusted and
+    short-circuit — the single-validation invariant of the envelope
+    pipeline.
     """
     if isinstance(value, _SCALARS):
+        return
+    cls = type(value)
+    if cls is FrozenDict or cls is FrozenList or cls is Envelope:
         return
     if isinstance(value, dict):
         for key, item in value.items():
@@ -46,9 +71,19 @@ def validate_message(value: Any, _path: str = "$") -> None:
 
 
 def to_json(value: Any) -> str:
-    """Serialize a message to compact, key-sorted JSON."""
-    validate_message(value)
-    return json.dumps(value, separators=(",", ":"), sort_keys=True, ensure_ascii=False)
+    """Serialize a message to compact, key-sorted JSON.
+
+    For an :class:`Envelope` (or a stanza containing envelopes) the
+    cached canonical text is reused instead of re-serializing.
+    """
+    try:
+        return canonical_json(value)
+    except MessageError:
+        raise
+    except (TypeError, ValueError):
+        # Produce the classic path-annotated error for invalid trees.
+        validate_message(value)
+        raise
 
 
 def from_json(text: str) -> Any:
@@ -57,12 +92,27 @@ def from_json(text: str) -> Any:
 
 
 def message_size_bytes(value: Any) -> int:
-    """Wire size of a message in bytes (UTF-8 JSON)."""
+    """Wire size of a message in bytes (UTF-8 JSON).
+
+    Envelopes answer from their cached size; computing the size of the
+    same payload at the buffer, transport, switch and participation
+    tracker therefore costs one serialization total, not four.
+    """
+    if isinstance(value, Envelope):
+        return value.wire_size
     return len(to_json(value).encode("utf-8"))
 
 
 def copy_message(value: Any) -> Any:
-    """Deep-copy a message tree (tuples become lists, as JSON would)."""
+    """Deep-copy a message tree into plain, mutable dicts/lists.
+
+    Tuples become lists — explicitly the same normalization the envelope
+    pipeline applies at ingest (:func:`~repro.core.envelope.freeze_message`)
+    and that JSON round-trips apply on the wire, so a payload has one
+    observable shape no matter which path delivered it.
+    """
+    if isinstance(value, Envelope):
+        value = value.payload
     if isinstance(value, _SCALARS):
         return value
     if isinstance(value, dict):

@@ -36,7 +36,7 @@ from .deployment import (
     teardown_op,
     undeploy_op,
 )
-from .messages import copy_message
+from .envelope import Envelope
 from .scripting import ScriptHost
 
 
@@ -84,7 +84,9 @@ class CollectorContext:
     def __init__(self, node, experiment_id: str) -> None:
         self.node = node
         self.experiment_id = experiment_id
-        self.broker = Broker(name=f"{experiment_id}@{node.jid}")
+        self.broker = Broker(
+            name=f"{experiment_id}@{node.jid}", metrics=node.kernel.metrics
+        )
         self.scripts: Dict[str, ScriptHost] = {}
         self.links: Dict[str, DeviceLink] = {}
         self.device_scripts: Dict[str, str] = {}
@@ -163,24 +165,31 @@ class CollectorContext:
     # Publishing
     # ------------------------------------------------------------------
     def publish_from_script(self, script: ScriptHost, channel: str, message: Any) -> None:
-        self.broker.publish(channel, message)
+        envelope = Envelope.wrap(message)
+        self.broker.publish(channel, envelope)
         for device_jid, link in self.links.items():
             if link.interested_in(channel):
-                self.node.send_to(device_jid, pub_op(self.experiment_id, channel, message))
+                # One envelope fans out to the whole fleet: each device's
+                # pub op shares the same validated payload and cached JSON.
+                self.node.send_to(device_jid, pub_op(self.experiment_id, channel, envelope))
 
     def deliver_remote(self, device_jid: str, channel: str, message: Any) -> int:
         """Deliver a device's pub to local scripts, tagged with origin."""
         self.received_pubs += 1
-        if isinstance(message, dict):
-            message = dict(message)
-            message["_device"] = device_jid
+        payload = Envelope.wrap(message).payload
+        if isinstance(payload, dict):
+            # Tag with the originating device.  Re-wrapping is cheap: the
+            # children are already frozen, so only the top level is walked.
+            tagged = dict(payload)
+            tagged["_device"] = device_jid
+            payload = Envelope.wrap(tagged).payload
         delivered = 0
         for sub in list(self.broker.subscriptions(channel)):
             if sub.owner == LINK_OWNER:
                 continue
             sub.delivery_count += 1
             delivered += 1
-            sub.handler(copy_message(message))
+            sub.handler(payload)
         return delivered
 
     # ------------------------------------------------------------------

@@ -90,6 +90,10 @@ class DeviceNode:
         self.flush_reasons: Counter = Counter()
         self.batches_sent = 0
         self.payloads_sent = 0
+        self._m_flushes = kernel.metrics.counter("node.flushes")
+        self._m_batches = kernel.metrics.counter("node.batches_sent")
+        self._m_payloads = kernel.metrics.counter("node.payloads_sent")
+        self._m_batch_size = kernel.metrics.histogram("node.batch_payloads")
         #: (experiment, script, exception) for deploys whose script
         #: failed to load — surfaced, never propagated.
         self.deploy_errors: List = []
@@ -204,6 +208,7 @@ class DeviceNode:
         if self._suspended or not self.transport.connected:
             return 0
         self.flush_count += 1
+        self._m_flushes.inc()
         self.flush_reasons[reason] += 1
         sent_payloads = 0
         for destination, messages in self.buffer.peek_batches():
@@ -214,6 +219,9 @@ class DeviceNode:
             self.buffer.mark_sent(messages)
             link.send(batch_op(items))
             self.batches_sent += 1
+            self._m_batches.inc()
+            self._m_payloads.inc(len(items))
+            self._m_batch_size.observe(len(items))
             sent_payloads += len(items)
         for link in self.links.values():
             link.resend_unacked(max_age_ms=self.buffer.max_age_ms)

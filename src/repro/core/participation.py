@@ -79,6 +79,8 @@ class ParticipationTracker:
         self.reward = reward
         self.idle_cap_ms = idle_cap_ms
         self._is_device = is_device or (lambda jid: jid.startswith("device-"))
+        self._m_stanzas = kernel.metrics.counter("participation.stanzas")
+        self._m_bytes = kernel.metrics.counter("participation.bytes")
         self._install()
 
     # ------------------------------------------------------------------
@@ -99,7 +101,12 @@ class ParticipationTracker:
             if self._is_device(from_jid):
                 record = self._record(from_jid)
                 record.stanzas += 1
-                record.bytes += message_size_bytes(stanza)
+                # Envelope payloads answer from their cached canonical
+                # JSON — the tracker's accounting walk is wrapper-only.
+                size = message_size_bytes(stanza)
+                record.bytes += size
+                self._m_stanzas.inc()
+                self._m_bytes.inc(size)
                 record.note_activity(self.kernel.now, self.idle_cap_ms)
 
         self.server.connect = connect

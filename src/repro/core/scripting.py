@@ -221,6 +221,8 @@ class ScriptHost:
         try:
             self.watchdog.guard(fn, *args)
         except BaseException as exc:  # noqa: BLE001
+            if isinstance(exc, ScriptTimeoutError):
+                self.context.node.kernel.metrics.counter("watchdog.hits").inc()
             self.errors.append(exc)
 
     # ------------------------------------------------------------------

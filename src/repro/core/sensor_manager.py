@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from .broker import Subscription
+from .envelope import Envelope
 from .privacy import PrivacySettings
 
 
@@ -78,13 +79,18 @@ class SensorManager:
         return result
 
     def publish(self, channel: str, message) -> int:
-        """Publish a sensor reading into every context."""
+        """Publish a sensor reading into every context.
+
+        Wrapped once: a reading fanned out to many experiment contexts is
+        validated and (if forwarded) serialized a single time.
+        """
         if not self.privacy.allows(channel):
             self.privacy.suppressed_publishes += 1
             return 0
+        envelope = Envelope.wrap(message)
         delivered = 0
         for context in self.node.contexts.values():
-            delivered += context.publish_internal(channel, message) or 0
+            delivered += context.publish_internal(channel, envelope) or 0
         return delivered
 
     # ------------------------------------------------------------------

@@ -42,6 +42,8 @@ class TailDetector:
         self._last_bytes = phone.modem.total_bytes
         self._timer: Optional[SleepFrozenTimer] = None
         self.running = False
+        self._m_polls = phone.kernel.metrics.counter("tailsync.polls")
+        self._m_detections = phone.kernel.metrics.counter("tailsync.detections")
 
     def start(self) -> None:
         if self.running:
@@ -63,10 +65,12 @@ class TailDetector:
         if not self.running:
             return
         self.polls += 1
+        self._m_polls.inc()
         current = self.phone.modem.total_bytes
         if current != self._last_bytes:
             self._last_bytes = current
             self.detections += 1
+            self._m_detections.inc()
             for listener in list(self.on_activity):
                 listener()
         self._arm()
@@ -107,6 +111,7 @@ class TransmissionPolicy:
 
     def _flush(self, reason: str) -> None:
         if self._controller is not None:
+            self._controller.kernel.metrics.counter(f"tailsync.flush.{reason}").inc()
             self._controller.flush(reason)
 
     @property

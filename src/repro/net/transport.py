@@ -42,6 +42,7 @@ class WiredTransport:
         self.on_connected: List[Callable[[], None]] = []
         self._session: Optional[Session] = None
         self.stanzas_sent = 0
+        self._m_stanzas = kernel.metrics.counter("transport.stanzas_sent")
         server.register(jid)
 
     def start(self) -> None:
@@ -57,6 +58,7 @@ class WiredTransport:
         if not self.connected:
             raise TransportError(f"{self.jid}: not connected")
         self.stanzas_sent += 1
+        self._m_stanzas.inc()
         self.server.submit(self.jid, to_jid, stanza)
         if on_complete is not None:
             self.kernel.schedule(0.0, on_complete, True)
@@ -99,6 +101,11 @@ class DeviceTransport:
         self.connect_count = 0
         self.send_failures = 0
         self.stanzas_sent = 0
+        metrics = kernel.metrics
+        self._m_stanzas = metrics.counter("transport.stanzas_sent")
+        self._m_bytes = metrics.counter("transport.bytes_sent")
+        self._m_failures = metrics.counter("transport.send_failures")
+        self._m_stanza_bytes = metrics.histogram("transport.stanza_bytes")
 
         server.register(jid)
         phone.on_interface_change.append(self._interface_changed)
@@ -184,15 +191,21 @@ class DeviceTransport:
         """Physically transmit a stanza; raises when disconnected."""
         if not self.connected:
             raise TransportError(f"{self.jid}: not connected")
+        # Envelope payloads inside the stanza answer from their cached
+        # canonical JSON, so this does not re-walk the message tree.
         size = message_size_bytes(stanza)
         session = self._session
 
         def transfer_done(success: bool) -> None:
             if success and self.connected and self._session is session:
                 self.stanzas_sent += 1
+                self._m_stanzas.inc()
+                self._m_bytes.inc(size)
+                self._m_stanza_bytes.observe(size)
                 self.server.submit(self.jid, to_jid, stanza)
             else:
                 self.send_failures += 1
+                self._m_failures.inc()
                 success = False
             if on_complete is not None:
                 on_complete(success)

@@ -84,6 +84,11 @@ class XmppServer:
         self.stanzas_routed = 0
         self.stanzas_lost = 0
         self.stanzas_stored_offline = 0
+        metrics = kernel.metrics
+        self._m_routed = metrics.counter("xmpp.stanzas_routed")
+        self._m_lost = metrics.counter("xmpp.stanzas_lost")
+        self._m_offline = metrics.counter("xmpp.stanzas_stored_offline")
+        self._m_bytes = metrics.counter("xmpp.bytes_delivered")
 
     # ------------------------------------------------------------------
     # Accounts and rosters (the administrator's surface, Section 3.1)
@@ -187,6 +192,7 @@ class XmppServer:
 
     def _route(self, from_jid: str, to_jid: str, stanza: dict) -> None:
         self.stanzas_routed += 1
+        self._m_routed.inc()
         session = self._sessions.get(to_jid)
         if session is None:
             self._store_offline(to_jid, stanza)
@@ -199,7 +205,10 @@ class XmppServer:
         self._deliver_via(session, stanza)
 
     def _deliver_via(self, session: Session, stanza: dict) -> None:
+        # Cached envelope JSON makes this size lookup nearly free even
+        # though the transport already accounted the same payload.
         size = message_size_bytes(stanza)
+        self._m_bytes.inc(size)
         if session.physical_rx is None:
             # Wired client (collector PC): delivery always succeeds.
             session.deliver(stanza)
@@ -221,6 +230,7 @@ class XmppServer:
 
     def _lose(self, session: Session, stanza: dict) -> None:
         self.stanzas_lost += 1
+        self._m_lost.inc()
         if self.trace is not None:
             self.trace.record("xmpp", "stanza_lost", jid=session.jid)
         if self._sessions.get(session.jid) is session:
@@ -231,6 +241,7 @@ class XmppServer:
     # ------------------------------------------------------------------
     def _store_offline(self, jid: str, stanza: dict) -> None:
         self.stanzas_stored_offline += 1
+        self._m_offline.inc()
         self._offline.setdefault(jid, deque()).append(stanza)
 
     def _drain_offline(self, jid: str, session: Session) -> None:

@@ -1,6 +1,7 @@
 """Discrete-event simulation substrate (kernel, processes, randomness, traces)."""
 
 from .kernel import DAY, HOUR, MINUTE, SECOND, EventHandle, Kernel, SimulationError
+from .metrics import Counter, Histogram, MetricsRegistry
 from .process import Process, Signal, spawn
 from .randomness import RandomStreams, derive_seed
 from .trace import Interval, IntervalTrack, TimeSeries, TraceEvent, TraceRecorder
@@ -13,6 +14,9 @@ __all__ = [
     "EventHandle",
     "Kernel",
     "SimulationError",
+    "Counter",
+    "Histogram",
+    "MetricsRegistry",
     "Process",
     "Signal",
     "spawn",

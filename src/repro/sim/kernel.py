@@ -21,6 +21,8 @@ import heapq
 import itertools
 from typing import Any, Callable, List, Optional, Tuple
 
+from .metrics import MetricsRegistry
+
 #: Convenience time constants, all in milliseconds.
 MILLISECOND = 1.0
 SECOND = 1000.0
@@ -92,6 +94,12 @@ class Kernel:
         self._stopped = False
         #: Total number of events executed; useful in tests and benchmarks.
         self.events_executed = 0
+        #: The kernel's metrics plane.  Components hang their counters and
+        #: histograms here; the event count is exposed as a pull-gauge so
+        #: the run loop itself pays nothing for observability.
+        self.metrics = MetricsRegistry()
+        self.metrics.gauge("kernel.events", lambda: self.events_executed)
+        self.metrics.gauge("kernel.pending_events", lambda: self.pending_events)
 
     # ------------------------------------------------------------------
     # Clock

@@ -1,0 +1,159 @@
+"""A lightweight metrics plane for the simulation kernel.
+
+The evaluation (Tables 3/4) hinges on cheap per-message accounting, and
+the ROADMAP's fleet-scale goal needs the hot path observable without
+slowing it down.  This module provides process-local counters,
+histograms and pull-gauges that the broker, buffer, transport, tail-sync
+and script watchdog increment, all hanging off ``kernel.metrics`` so a
+simulation's numbers never leak into another's (the determinism rule:
+no process-global state).
+
+Design constraints:
+
+* **Cheap increments.**  ``Counter.inc`` is one attribute add;
+  components pre-bind the counter object at construction so the hot path
+  never does a dict lookup.
+* **Deterministic reports.**  ``snapshot()``/``report()`` sort by metric
+  name, so two identical simulations render byte-identical reports.
+* **Trace bridge.**  ``record_snapshot`` writes the full snapshot as one
+  :class:`~repro.sim.trace.TraceRecorder` event, letting tests and the
+  timeline tooling correlate metric values with protocol events.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+#: Default histogram bucket upper bounds (bytes-ish scale; also fine for
+#: batch sizes).  A final implicit +inf bucket catches the rest.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0,
+    1_000.0, 2_500.0, 5_000.0, 10_000.0, 25_000.0, 50_000.0, 100_000.0,
+)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Histogram:
+    """Bucketed value distribution with count/sum/min/max."""
+
+    __slots__ = ("name", "bounds", "bucket_counts", "count", "total", "min", "max")
+
+    def __init__(self, name: str, bounds: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        self.name = name
+        self.bounds: Tuple[float, ...] = tuple(bounds)
+        self.bucket_counts: List[int] = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.bucket_counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def buckets(self) -> List[Tuple[str, int]]:
+        """(upper-bound label, count) pairs, including the +inf bucket."""
+        labels = [f"<= {bound:g}" for bound in self.bounds] + ["> last"]
+        return list(zip(labels, self.bucket_counts))
+
+
+class MetricsRegistry:
+    """Create-or-get registry of counters, histograms and gauges."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._gauges: Dict[str, Callable[[], float]] = {}
+
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = self._counters[name] = Counter(name)
+        return counter
+
+    def histogram(self, name: str, bounds: Sequence[float] = DEFAULT_BUCKETS) -> Histogram:
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self._histograms[name] = Histogram(name, bounds)
+        return histogram
+
+    def gauge(self, name: str, fn: Callable[[], float]) -> None:
+        """Register a pull-gauge: sampled only at snapshot time, so the
+        producer's hot loop (e.g. the kernel's event loop) pays nothing."""
+        self._gauges[name] = fn
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """All current values, keyed by metric name, sorted."""
+        out: Dict[str, Any] = {}
+        for name in sorted(self._counters):
+            out[name] = self._counters[name].value
+        for name in sorted(self._gauges):
+            out[name] = self._gauges[name]()
+        for name in sorted(self._histograms):
+            histogram = self._histograms[name]
+            out[name] = {
+                "count": histogram.count,
+                "sum": histogram.total,
+                "min": histogram.min,
+                "max": histogram.max,
+                "mean": round(histogram.mean, 3),
+            }
+        return out
+
+    def nonzero(self) -> Dict[str, Any]:
+        """Snapshot restricted to metrics that have actually moved."""
+        def moved(value: Any) -> bool:
+            if isinstance(value, dict):
+                return value.get("count", 0) > 0
+            return bool(value)
+
+        return {name: value for name, value in self.snapshot().items() if moved(value)}
+
+    def report(self, include_zero: bool = False) -> str:
+        """Administrator-facing text report (deterministic ordering)."""
+        lines = [f"{'metric':<32} {'value':>14}"]
+        values = self.snapshot() if include_zero else self.nonzero()
+        for name, value in values.items():
+            if isinstance(value, dict):
+                lines.append(
+                    f"{name:<32} {value['count']:>14,}  "
+                    f"(sum={value['sum']:,.0f} mean={value['mean']:,.1f} "
+                    f"min={value['min'] if value['min'] is not None else '-'} "
+                    f"max={value['max'] if value['max'] is not None else '-'})"
+                )
+            elif isinstance(value, float) and not value.is_integer():
+                lines.append(f"{name:<32} {value:>14,.3f}")
+            else:
+                lines.append(f"{name:<32} {int(value):>14,}")
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # Trace bridge
+    # ------------------------------------------------------------------
+    def record_snapshot(self, trace, source: str = "metrics", time: Optional[float] = None) -> None:
+        """Write the current snapshot as one trace event."""
+        trace.record(source, "snapshot", time=time, **self.snapshot())

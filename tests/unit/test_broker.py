@@ -26,14 +26,22 @@ def test_publish_without_subscribers_is_fine():
     assert broker.publish("nobody", {"n": 1}) == 0
 
 
-def test_each_subscriber_gets_own_copy():
+def test_subscribers_share_an_immutable_view():
+    """Deliveries are one shared frozen view: mutation raises instead of
+    silently diverging between subscribers; ``copy()`` is the escape hatch."""
     broker = Broker()
     first, second = [], []
     broker.subscribe("ch", first.append)
     broker.subscribe("ch", second.append)
     broker.publish("ch", {"list": [1]})
-    first[0]["list"].append(2)
+    with pytest.raises(MessageError):
+        first[0]["list"].append(2)
+    with pytest.raises(MessageError):
+        first[0]["extra"] = True
     assert second[0]["list"] == [1]
+    mutable = first[0].copy()
+    mutable["extra"] = True
+    assert "extra" not in second[0]
 
 
 def test_release_and_renew():

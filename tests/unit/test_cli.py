@@ -40,6 +40,17 @@ def test_localization_short(capsys):
     assert "dwell sessions" in out
 
 
+def test_metrics(capsys):
+    assert main(["--seed", "3", "metrics", "--devices", "2", "--hours", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "broker.publishes" in out
+    assert "transport.stanzas_sent" in out
+    # The simulated hour must actually move the counters.
+    for line in out.splitlines():
+        if line.startswith("broker.publishes"):
+            assert int(line.split()[-1].replace(",", "")) > 0
+
+
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["frobnicate"])

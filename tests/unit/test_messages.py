@@ -62,3 +62,43 @@ def test_copy_converts_tuples_to_lists():
 def test_messages_equal_structural():
     assert messages_equal({"a": 1, "b": 2}, {"b": 2, "a": 1})
     assert not messages_equal({"a": 1}, {"a": 2})
+
+
+# ---------------------------------------------------------------------------
+# Tuple normalization: one observable shape regardless of delivery path
+# ---------------------------------------------------------------------------
+
+
+def test_tuple_payload_local_delivery_matches_json_roundtrip():
+    """A tuple payload must look identical whether delivered locally
+    (through the broker's frozen view) or remotely (via the wire)."""
+    from repro.core.broker import Broker
+
+    message = {"samples": (1, 2, 3), "nested": {"pair": ("a", "b")}}
+    local = []
+    broker = Broker()
+    broker.subscribe("ch", local.append)
+    broker.publish("ch", message)
+
+    remote = from_json(to_json(message))
+
+    assert local[0] == remote
+    assert local[0]["samples"] == [1, 2, 3]
+    assert remote["samples"] == [1, 2, 3]
+    assert local[0]["nested"]["pair"] == ["a", "b"]
+
+
+def test_tuple_normalized_at_ingest_not_just_on_copy():
+    """freeze_message converts tuples to (frozen) lists up front, so the
+    delivered object reports list semantics — isinstance, ==, json."""
+    from repro.core.envelope import Envelope
+
+    env = Envelope.wrap({"t": (1, 2)})
+    assert isinstance(env.payload["t"], list)
+    assert env.payload["t"] == [1, 2]
+    assert env.json == '{"t":[1,2]}'
+    assert copy_message(env) == {"t": [1, 2]}
+
+
+def test_tuple_wire_size_matches_list_wire_size():
+    assert message_size_bytes({"t": (1, 2)}) == message_size_bytes({"t": [1, 2]})

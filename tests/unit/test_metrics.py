@@ -1,0 +1,105 @@
+"""Unit tests for the kernel metrics plane."""
+
+from repro.sim.kernel import Kernel
+from repro.sim.metrics import DEFAULT_BUCKETS, Counter, Histogram, MetricsRegistry
+from repro.sim.trace import TraceRecorder
+
+
+# ---------------------------------------------------------------------------
+# Primitives
+# ---------------------------------------------------------------------------
+
+
+def test_counter_increments():
+    counter = Counter("c")
+    counter.inc()
+    counter.inc(41)
+    assert counter.value == 42
+
+
+def test_histogram_buckets_and_stats():
+    histogram = Histogram("h", bounds=(10.0, 100.0))
+    for value in (1, 10, 11, 100, 1000):
+        histogram.observe(value)
+    assert histogram.count == 5
+    assert histogram.total == 1122
+    assert histogram.min == 1
+    assert histogram.max == 1000
+    assert histogram.mean == 1122 / 5
+    # bisect_left: values equal to a bound land in that bound's bucket.
+    assert [count for _, count in histogram.buckets()] == [2, 2, 1]
+
+
+def test_registry_create_or_get():
+    registry = MetricsRegistry()
+    assert registry.counter("a") is registry.counter("a")
+    assert registry.histogram("h") is registry.histogram("h")
+    assert registry.histogram("h").bounds == DEFAULT_BUCKETS
+
+
+def test_snapshot_sorted_and_gauges_pulled_lazily():
+    registry = MetricsRegistry()
+    registry.counter("z.count").inc(3)
+    pulls = []
+
+    def gauge():
+        pulls.append(True)
+        return 7.0
+
+    registry.gauge("a.gauge", gauge)
+    assert pulls == []  # registering costs nothing
+    snap = registry.snapshot()
+    assert snap == {"z.count": 3, "a.gauge": 7.0}
+    assert pulls == [True]
+
+
+def test_nonzero_filters_untouched_metrics():
+    registry = MetricsRegistry()
+    registry.counter("touched").inc()
+    registry.counter("untouched")
+    registry.histogram("empty")
+    registry.histogram("used").observe(5)
+    moved = registry.nonzero()
+    assert "touched" in moved and "used" in moved
+    assert "untouched" not in moved and "empty" not in moved
+
+
+def test_report_is_deterministic_text():
+    registry = MetricsRegistry()
+    registry.counter("b").inc(2)
+    registry.counter("a").inc(1)
+    first = registry.report()
+    second = registry.report()
+    assert first == second
+    lines = first.splitlines()
+    assert lines[1].startswith("a") and lines[2].startswith("b")
+
+
+# ---------------------------------------------------------------------------
+# Kernel integration and trace bridge
+# ---------------------------------------------------------------------------
+
+
+def test_kernel_owns_a_registry_with_event_gauges():
+    kernel = Kernel()
+    kernel.schedule(1.0, lambda: None)
+    kernel.run()
+    snap = kernel.metrics.snapshot()
+    assert snap["kernel.events"] == kernel.events_executed == 1
+
+
+def test_two_kernels_do_not_share_metrics():
+    a, b = Kernel(), Kernel()
+    a.metrics.counter("x").inc()
+    assert b.metrics.counter("x").value == 0
+
+
+def test_record_snapshot_writes_one_trace_event():
+    registry = MetricsRegistry()
+    registry.counter("broker.publishes").inc(5)
+    trace = TraceRecorder()
+    registry.record_snapshot(trace, time=1234.0)
+    event = trace.last("metrics", "snapshot")
+    assert event is not None
+    assert event.time == 1234.0
+    assert event.data["broker.publishes"] == 5
