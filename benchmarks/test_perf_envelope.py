@@ -21,6 +21,7 @@ import time
 from repro.core.broker import Broker
 from repro.core.envelope import Envelope
 from repro.core.messages import message_size_bytes, to_json
+from repro.sim.spans import SpanRecorder
 
 DEVICES = 50
 MESSAGES_PER_DEVICE = 40
@@ -113,7 +114,11 @@ def run_legacy(messages):
 
 
 def run_envelope(messages):
-    broker = Broker()
+    # Lifecycle tracing is default-on in production, so the measured path
+    # includes it: every publish tags the envelope and records a fan-out
+    # span into the flight recorder.
+    spans = SpanRecorder(clock=lambda: 0.0)
+    broker = Broker(spans=spans)
     sink = []
     for _ in range(SUBSCRIBERS):
         broker.subscribe("telemetry", sink.append)

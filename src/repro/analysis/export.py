@@ -83,6 +83,67 @@ def trace_to_csv(trace: TraceRecorder, target: Union[str, TextIO, None] = None) 
     return buffer.getvalue() if buffer is not None else None
 
 
+def spans_to_csv(spans: Iterable, target: Union[str, TextIO, None] = None) -> Optional[str]:
+    """Write lifecycle spans as flat CSV rows (attrs as sorted JSON)."""
+    import json
+
+    handle, close, buffer = _writer(target)
+    try:
+        writer = csv.writer(handle)
+        writer.writerow(["span", "trace", "parent", "hop", "start_ms", "end_ms", "attrs"])
+        for span in spans:
+            writer.writerow(
+                [
+                    span.span_id,
+                    span.trace_id,
+                    span.parent_id,
+                    span.hop,
+                    f"{span.start_ms:.3f}",
+                    f"{span.end_ms:.3f}",
+                    json.dumps(dict(span.attrs or {}), sort_keys=True),
+                ]
+            )
+    finally:
+        if close:
+            handle.close()
+    return buffer.getvalue() if buffer is not None else None
+
+
+def spans_to_jsonl(spans: Iterable, target: Union[str, TextIO, None] = None) -> Optional[str]:
+    """Write lifecycle spans as JSON Lines, one span per line.
+
+    The line format is deterministic (sorted keys, compact separators),
+    so two identical seeded runs export byte-identical files — CI pins
+    this property.
+    """
+    from ..sim.spans import spans_to_jsonl_lines
+
+    handle, close, buffer = _writer(target)
+    try:
+        for line in spans_to_jsonl_lines(spans):
+            handle.write(line)
+            handle.write("\n")
+    finally:
+        if close:
+            handle.close()
+    return buffer.getvalue() if buffer is not None else None
+
+
+def spans_from_jsonl(source: Union[str, TextIO]) -> List:
+    """Read spans back from a JSON Lines export (round-trip of
+    :func:`spans_to_jsonl`).  ``source`` is a path or an open file."""
+    import json
+
+    from ..sim.spans import Span
+
+    if isinstance(source, str):
+        with open(source, "r", encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+    else:
+        lines = source.read().splitlines()
+    return [Span.from_dict(json.loads(line)) for line in lines if line.strip()]
+
+
 def rows_to_csv(
     header: Sequence[str],
     rows: Iterable[Sequence],

@@ -13,6 +13,8 @@ table4           Table 4: the full deployment study (slow; supports --scale)
 anonytl          parse/compile/run an AnonyTL task file (Listing 1 format)
 power-report     per-script resource estimates after a simulated run
 metrics          kernel metrics plane report after a simulated run
+trace            message lifecycle tracing: per-hop latency, span tree,
+                 per-message energy attribution (supports --json/--export)
 
 Every command accepts ``--seed`` and prints a deterministic report.
 """
@@ -64,6 +66,18 @@ def _build_parser() -> argparse.ArgumentParser:
     metrics.add_argument("--hours", type=float, default=1.0)
     metrics.add_argument("--all", action="store_true",
                          help="include zero-valued counters")
+    metrics.add_argument("--json", action="store_true",
+                         help="machine-readable snapshot instead of text")
+
+    trace = sub.add_parser(
+        "trace", help="message lifecycle tracing: per-hop latency & energy"
+    )
+    trace.add_argument("--devices", type=int, default=50)
+    trace.add_argument("--hours", type=float, default=1.0)
+    trace.add_argument("--json", action="store_true",
+                       help="machine-readable summary instead of text")
+    trace.add_argument("--export", metavar="PATH",
+                       help="write the flight recorder's spans as JSONL")
 
     return parser
 
@@ -292,11 +306,123 @@ def cmd_metrics(args) -> int:
     sim.assign(collector, devices)
     collector.node.deploy(battery_monitor.build_experiment(), [d.jid for d in devices])
     sim.run(hours=args.hours)
+    if args.json:
+        import json
+
+        snapshot = sim.kernel.metrics.snapshot()
+        if not args.all:
+            snapshot = {
+                name: value
+                for name, value in snapshot.items()
+                if not (isinstance(value, (int, float)) and value == 0)
+                and not (isinstance(value, dict) and not value.get("count"))
+            }
+        print(json.dumps(snapshot, indent=2, sort_keys=True))
+        return 0
     print(
         f"metrics after {args.hours} h with {args.devices} device(s) "
         f"(seed {args.seed}):"
     )
     print(sim.kernel.metrics.report(include_zero=args.all))
+    return 0
+
+
+def cmd_trace(args) -> int:
+    """A seeded fleet run viewed through the message lifecycle tracer."""
+    import json
+
+    from .apps import battery_monitor
+    from .core.middleware import PogoSimulation
+    from .sim.spans import render_span_tree
+
+    sim = PogoSimulation(seed=args.seed)
+    collector = sim.add_collector("cli")
+    devices = [sim.add_device(with_email_app=True) for _ in range(args.devices)]
+    sim.start()
+    sim.assign(collector, devices)
+    collector.node.deploy(battery_monitor.build_experiment(), [d.jid for d in devices])
+    sim.run(hours=args.hours)
+
+    spans = sim.kernel.spans
+    ledgers = [d.node.energy for d in devices]
+    for ledger in ledgers:
+        ledger.finalize()
+
+    # Fleet-wide energy attribution totals (the Table 3 accounting, summed
+    # per message instead of per hour).
+    attributed = sum(ledger.attributed_j for ledger in ledgers)
+    control = sum(ledger.control_j for ledger in ledgers)
+    unattributed = sum(ledger.unattributed_j for ledger in ledgers)
+    idle = sum(ledger.idle_j for ledger in ledgers)
+    active = sum(ledger.active_j for ledger in ledgers)
+    messages = sum(ledger.messages_attributed for ledger in ledgers)
+    piggybacked = sum(ledger.piggybacked_messages for ledger in ledgers)
+    delta = (
+        abs((attributed + control + unattributed) - active) / active if active else 0.0
+    )
+
+    if args.export:
+        from .analysis.export import spans_to_jsonl
+
+        spans_to_jsonl(spans, args.export)
+
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "devices": args.devices,
+                    "hours": args.hours,
+                    "seed": args.seed,
+                    "spans": {
+                        "recorded": spans.recorded,
+                        "in_ring": len(spans),
+                        "dropped": spans.dropped,
+                    },
+                    "hops": spans.latency_snapshot(),
+                    "energy": {
+                        "attributed_j": round(attributed, 6),
+                        "control_j": round(control, 6),
+                        "unattributed_j": round(unattributed, 6),
+                        "idle_j": round(idle, 6),
+                        "active_j": round(active, 6),
+                        "total_j": round(active + idle, 6),
+                        "messages_attributed": messages,
+                        "piggybacked_messages": piggybacked,
+                        "reconciliation_delta": round(delta, 9),
+                    },
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 0
+
+    print(
+        f"trace of {args.hours} h with {args.devices} device(s) (seed {args.seed}): "
+        f"{spans.recorded:,} spans recorded, {len(spans):,} in flight recorder, "
+        f"{spans.dropped:,} dropped"
+    )
+    print()
+    print("per-hop latency:")
+    print(spans.latency_table())
+
+    # One complete lifecycle, as a causal tree: pick the last message that
+    # reached the collector and is still fully inside the ring.
+    delivered = spans.spans(hop="deliver.collector")
+    if delivered:
+        print()
+        print(render_span_tree(spans, delivered[-1].trace_id))
+
+    print()
+    print("per-message energy attribution (3G modem, fleet total):")
+    print(f"  messages attributed     {messages:>12,} ({piggybacked:,} piggybacked)")
+    print(f"  attributed to messages  {attributed:>12.2f} J")
+    print(f"  control/ack overhead    {control:>12.2f} J")
+    print(f"  other apps' radio use   {unattributed:>12.2f} J")
+    print(f"  radio-active total      {active:>12.2f} J")
+    print(f"  idle baseline           {idle:>12.2f} J")
+    print(f"  modem total             {active + idle:>12.2f} J")
+    print(f"  reconciliation delta    {delta * 100:>11.4f} %  (attributed+control+other vs active)")
     return 0
 
 
@@ -310,6 +436,7 @@ _COMMANDS = {
     "anonytl": cmd_anonytl,
     "power-report": cmd_power_report,
     "metrics": cmd_metrics,
+    "trace": cmd_trace,
 }
 
 

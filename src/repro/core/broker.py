@@ -105,6 +105,7 @@ class Broker:
         name: str = "broker",
         deliver: Optional[Callable[[Subscription, Any], None]] = None,
         metrics=None,
+        spans=None,
     ) -> None:
         self.name = name
         self._sub_ids = itertools.count(1)
@@ -119,6 +120,9 @@ class Broker:
         self._m_publishes = metrics.counter("broker.publishes") if metrics else None
         self._m_deliveries = metrics.counter("broker.deliveries") if metrics else None
         self._m_copies_avoided = metrics.counter("broker.copies_avoided") if metrics else None
+        # Pre-bound tracing handle (kernel span plane), same None-guard.
+        self._spans = spans
+        self._h_fanout = spans.hop("broker.fanout") if spans else None
 
     def _next_sub_id(self) -> int:
         return next(self._sub_ids)
@@ -194,6 +198,17 @@ class Broker:
             # One shared frozen view replaced `delivered` deep copies.
             if self._m_copies_avoided is not None:
                 self._m_copies_avoided.inc(delivered)
+        if self._h_fanout is not None and self._spans.enabled:
+            now = self._spans.now()
+            span_id = self._h_fanout.record(
+                self._spans.tag(envelope),
+                envelope.hop_span,
+                now,
+                now,
+                {"channel": channel, "deliveries": delivered},
+            )
+            if span_id:
+                envelope.hop_span = span_id
         return delivered
 
     # ------------------------------------------------------------------

@@ -33,6 +33,21 @@ from .messages import from_json, to_json
 DEFAULT_MAX_AGE_MS = 24 * HOUR
 
 
+def traced_envelope(payload: Any):
+    """The traced envelope riding an op payload, if any.
+
+    Only ``pub`` ops carry messages; sub/attach/ack plumbing has no
+    envelope and stays untraced.  SQLite round-trips rebuild payloads
+    from JSON, so after a simulated reboot the envelope identity (and
+    with it the trace) is gone — tracing degrades, delivery does not.
+    """
+    if type(payload) is dict:
+        envelope = payload.get("msg")
+        if envelope is not None and getattr(envelope, "trace_id", 0):
+            return envelope
+    return None
+
+
 @dataclass(frozen=True)
 class BufferedMessage:
     """One message waiting for transmission."""
@@ -150,6 +165,10 @@ class MessageBuffer:
         self._m_enqueued = kernel.metrics.counter("buffer.enqueued")
         self._m_drained = kernel.metrics.counter("buffer.drained")
         self._m_expired = kernel.metrics.counter("buffer.expired")
+        self._spans = kernel.spans
+        self._h_enqueue = kernel.spans.hop("buffer.enqueue")
+        self._h_dwell = kernel.spans.hop("buffer.dwell")
+
 
     def enqueue(self, destination: str, payload: Any) -> BufferedMessage:
         message = BufferedMessage(
@@ -161,6 +180,18 @@ class MessageBuffer:
         self.store.append(message)
         self.enqueued += 1
         self._m_enqueued.inc()
+        envelope = traced_envelope(payload)
+        if envelope is not None and self._spans.enabled:
+            now = self.kernel.now
+            span_id = self._h_enqueue.record(
+                envelope.trace_id,
+                envelope.hop_span,
+                now,
+                now,
+                {"destination": destination, "bytes": envelope.wire_size},
+            )
+            if span_id:
+                envelope.hop_span = span_id
         return message
 
     def __len__(self) -> int:
@@ -193,9 +224,35 @@ class MessageBuffer:
             by_destination.setdefault(message.destination, []).append(message)
         return sorted(by_destination.items())
 
-    def mark_sent(self, messages: Iterable[BufferedMessage]) -> None:
-        """Remove messages that were handed to the reliable layer."""
+    def mark_sent(
+        self,
+        messages: Iterable[BufferedMessage],
+        flush_span: int = 0,
+        flush_reason: str = "",
+    ) -> None:
+        """Remove messages that were handed to the reliable layer.
+
+        With tracing on, each traced message closes its ``buffer.dwell``
+        span here — created_ms to now is exactly the latency tail-sync
+        trades for energy, labelled with the flush that released it.
+        """
+        messages = list(messages)
         ids = [m.id for m in messages]
         self.store.remove(ids)
         self.drained += len(ids)
         self._m_drained.inc(len(ids))
+        if self._spans.enabled:
+            now = self.kernel.now
+            for message in messages:
+                envelope = traced_envelope(message.payload)
+                if envelope is None:
+                    continue
+                span_id = self._h_dwell.record(
+                    envelope.trace_id,
+                    envelope.hop_span,
+                    message.created_ms,
+                    now,
+                    {"flush_span": flush_span, "reason": flush_reason},
+                )
+                if span_id:
+                    envelope.hop_span = span_id

@@ -53,8 +53,14 @@ class DeviceContext:
         self.experiment_id = experiment_id
         self.collector_jid = collector_jid
         self.broker = Broker(
-            name=f"{experiment_id}@{node.jid}", metrics=node.kernel.metrics
+            name=f"{experiment_id}@{node.jid}",
+            metrics=node.kernel.metrics,
+            spans=node.kernel.spans,
         )
+        spans = node.kernel.spans
+        self._spans = spans
+        self._h_publish = spans.hop("publish")
+        self._h_deliver = spans.hop("deliver.device")
         self.scripts: Dict[str, ScriptHost] = {}
         #: remote subscription id (collector side) -> proxy Subscription.
         self.remote_subs: Dict[int, Subscription] = {}
@@ -105,15 +111,33 @@ class DeviceContext:
     # ------------------------------------------------------------------
     def publish_from_script(self, script: ScriptHost, channel: str, message: Any) -> None:
         envelope = Envelope.wrap(message)
+        self._root_span(
+            envelope, channel, script.name if script is not None else "script"
+        )
         self.broker.publish(channel, envelope)
         self._forward_if_remote_interest(channel, envelope)
 
     def publish_internal(self, channel: str, message: Any) -> int:
         """Sensor-manager publishes (sensors reach every context)."""
         envelope = Envelope.wrap(message)
+        self._root_span(envelope, channel, "sensor")
         delivered = self.broker.publish(channel, envelope)
         self._forward_if_remote_interest(channel, envelope)
         return delivered
+
+    def _root_span(self, envelope: Envelope, channel: str, source: str) -> None:
+        """Open the message's trace at its first traced publish."""
+        if not self._spans.enabled or envelope.trace_id:
+            return
+        now = self._spans.now()
+        envelope.origin_ms = now
+        envelope.hop_span = self._h_publish.record(
+            self._spans.tag(envelope),
+            0,
+            now,
+            now,
+            {"channel": channel, "source": source, "node": self.node.jid},
+        )
 
     def _forward_if_remote_interest(self, channel: str, envelope: Envelope) -> None:
         if any(
@@ -129,7 +153,8 @@ class DeviceContext:
 
     def deliver_remote(self, channel: str, message: Any) -> int:
         """Deliver a pub that arrived from the collector to local scripts."""
-        payload = Envelope.wrap(message).payload
+        envelope = Envelope.wrap(message)
+        payload = envelope.payload
         delivered = 0
         for sub in list(self.broker.subscriptions(channel)):
             if sub.owner == LINK_OWNER:
@@ -137,6 +162,15 @@ class DeviceContext:
             sub.delivery_count += 1
             delivered += 1
             sub.handler(payload)
+        if envelope.trace_id and self._spans.enabled:
+            # End-to-end terminus: span covers origin publish -> delivery.
+            self._h_deliver.record(
+                envelope.trace_id,
+                envelope.hop_span,
+                envelope.origin_ms,
+                self._spans.now(),
+                {"channel": channel, "deliveries": delivered, "node": self.node.jid},
+            )
         return delivered
 
     # ------------------------------------------------------------------

@@ -143,12 +143,19 @@ class Envelope:
     broker → buffer → transport → switch → remote-broker pipeline.
     """
 
-    __slots__ = ("payload", "_json", "_size")
+    __slots__ = ("payload", "_json", "_size", "trace_id", "origin_ms", "hop_span")
 
     def __init__(self, payload: Any) -> None:
         self.payload = freeze_message(payload)
         self._json: Any = None
         self._size: Any = None
+        # Tracing plane (repro.sim.spans).  The simulation moves envelope
+        # objects end to end, so the trace id assigned at first publish and
+        # the running causal parent (the last hop's span id) ride along for
+        # free.  Zero means untraced; the payload itself never changes.
+        self.trace_id = 0
+        self.origin_ms = 0.0
+        self.hop_span = 0
 
     @classmethod
     def wrap(cls, value: Any) -> "Envelope":

@@ -72,8 +72,12 @@ class PogoSimulation:
         seed: int = 0,
         carrier: CarrierProfile = KPN,
         record_trace: bool = False,
+        spans: bool = True,
     ) -> None:
         self.kernel = Kernel()
+        if not spans:
+            # Kill switch: lifecycle tracing off, hop handles become no-ops.
+            self.kernel.spans.disable()
         self.streams = RandomStreams(seed)
         self.trace = TraceRecorder(lambda: self.kernel.now) if record_trace else None
         self.server = XmppServer(self.kernel, trace=self.trace)

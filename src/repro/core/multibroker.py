@@ -85,8 +85,14 @@ class CollectorContext:
         self.node = node
         self.experiment_id = experiment_id
         self.broker = Broker(
-            name=f"{experiment_id}@{node.jid}", metrics=node.kernel.metrics
+            name=f"{experiment_id}@{node.jid}",
+            metrics=node.kernel.metrics,
+            spans=node.kernel.spans,
         )
+        spans = node.kernel.spans
+        self._spans = spans
+        self._h_publish = spans.hop("publish")
+        self._h_deliver = spans.hop("deliver.collector")
         self.scripts: Dict[str, ScriptHost] = {}
         self.links: Dict[str, DeviceLink] = {}
         self.device_scripts: Dict[str, str] = {}
@@ -166,6 +172,20 @@ class CollectorContext:
     # ------------------------------------------------------------------
     def publish_from_script(self, script: ScriptHost, channel: str, message: Any) -> None:
         envelope = Envelope.wrap(message)
+        if self._spans.enabled and not envelope.trace_id:
+            now = self._spans.now()
+            envelope.origin_ms = now
+            envelope.hop_span = self._h_publish.record(
+                self._spans.tag(envelope),
+                0,
+                now,
+                now,
+                {
+                    "channel": channel,
+                    "source": script.name if script is not None else "collector",
+                    "node": self.node.jid,
+                },
+            )
         self.broker.publish(channel, envelope)
         for device_jid, link in self.links.items():
             if link.interested_in(channel):
@@ -176,7 +196,19 @@ class CollectorContext:
     def deliver_remote(self, device_jid: str, channel: str, message: Any) -> int:
         """Deliver a device's pub to local scripts, tagged with origin."""
         self.received_pubs += 1
-        payload = Envelope.wrap(message).payload
+        envelope = Envelope.wrap(message)
+        if envelope.trace_id and self._spans.enabled:
+            # End-to-end terminus: from the device-side publish to here.
+            # Recorded against the *incoming* envelope (the tagged re-wrap
+            # below is a new envelope and would lose the trace).
+            self._h_deliver.record(
+                envelope.trace_id,
+                envelope.hop_span,
+                envelope.origin_ms,
+                self._spans.now(),
+                {"channel": channel, "device": device_jid},
+            )
+        payload = envelope.payload
         if isinstance(payload, dict):
             # Tag with the originating device.  Re-wrapping is cheap: the
             # children are already frozen, so only the top level is walked.

@@ -21,7 +21,9 @@ from ..net.acks import ReliableLink
 from ..net.transport import DeviceTransport, TransportError, WiredTransport
 from ..net.xmpp import XmppServer
 from ..sim.kernel import MINUTE, Kernel
-from .buffer import DEFAULT_MAX_AGE_MS, MessageBuffer, MessageStore
+from ..sim.spans import EnergyLedger
+from .buffer import DEFAULT_MAX_AGE_MS, MessageBuffer, MessageStore, traced_envelope
+from .messages import message_size_bytes
 from .context import DeviceContext
 from .deployment import (
     OP_ATTACH,
@@ -94,6 +96,11 @@ class DeviceNode:
         self._m_batches = kernel.metrics.counter("node.batches_sent")
         self._m_payloads = kernel.metrics.counter("node.payloads_sent")
         self._m_batch_size = kernel.metrics.histogram("node.batch_payloads")
+        self._spans = kernel.spans
+        self._h_flush = kernel.spans.hop("node.flush")
+        #: Per-device modem energy accounting: every RRC episode's joules,
+        #: attributed to the traced messages whose flushes rode it.
+        self.energy = EnergyLedger(kernel, phone.modem)
         #: (experiment, script, exception) for deploys whose script
         #: failed to load — surfaced, never propagated.
         self.deploy_errors: List = []
@@ -210,24 +217,65 @@ class DeviceNode:
         self.flush_count += 1
         self._m_flushes.inc()
         self.flush_reasons[reason] += 1
+        batches = self.buffer.peek_batches()
+        interface = self.phone.active_interface()
+        spans = self._spans
+        flush_span = 0
+        if spans.enabled:
+            now = self.kernel.now
+            flush_span = self._h_flush.record(
+                0,
+                spans.active_parent,  # the tail-sync decision, when any
+                now,
+                now,
+                {
+                    "reason": reason,
+                    "radio": self.phone.modem.state,
+                    "interface": interface or "none",
+                    "batches": len(batches),
+                    "payloads": sum(len(m) for _, m in batches),
+                },
+            )
+        if batches:
+            # Register this flush's riders with the energy ledger *before*
+            # the physical sends: a flush from idle opens the radio episode
+            # synchronously inside link.send, and the ledger must already
+            # know Pogo triggered it (self-initiated vs piggybacked is the
+            # whole Table 3 distinction).
+            riders = []
+            for _, messages in batches:
+                for message in messages:
+                    envelope = traced_envelope(message.payload)
+                    if envelope is not None:
+                        riders.append((envelope.trace_id, envelope.wire_size))
+                    else:
+                        riders.append((0, message_size_bytes(message.payload)))
+            self.energy.on_flush(flush_span, riders, interface, self.phone.modem.state)
         sent_payloads = 0
-        for destination, messages in self.buffer.peek_batches():
-            link = self.link_for(destination)
-            items = [m.payload for m in messages]
-            # mark_sent before the physical send: from here on the
-            # reliable layer owns delivery (resend on loss).
-            self.buffer.mark_sent(messages)
-            link.send(batch_op(items))
-            self.batches_sent += 1
-            self._m_batches.inc()
-            self._m_payloads.inc(len(items))
-            self._m_batch_size.observe(len(items))
-            sent_payloads += len(items)
-        for link in self.links.values():
-            link.resend_unacked(max_age_ms=self.buffer.max_age_ms)
-            ack = link.make_ack()
-            if ack is not None:
-                self._raw_send(link.peer, ack)
+        previous_parent = spans.active_parent
+        if flush_span:
+            spans.active_parent = flush_span
+        try:
+            for destination, messages in batches:
+                link = self.link_for(destination)
+                items = [m.payload for m in messages]
+                # mark_sent before the physical send: from here on the
+                # reliable layer owns delivery (resend on loss).
+                self.buffer.mark_sent(messages, flush_span, reason)
+                link.send(batch_op(items))
+                self.batches_sent += 1
+                self._m_batches.inc()
+                self._m_payloads.inc(len(items))
+                self._m_batch_size.observe(len(items))
+                sent_payloads += len(items)
+            for link in self.links.values():
+                link.resend_unacked(max_age_ms=self.buffer.max_age_ms)
+                ack = link.make_ack()
+                if ack is not None:
+                    self._raw_send(link.peer, ack)
+        finally:
+            spans.active_parent = previous_parent
+        self.energy.settle_flush()
         self.payloads_sent += sent_payloads
         return sent_payloads
 

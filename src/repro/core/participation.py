@@ -96,8 +96,8 @@ class ParticipationTracker:
                 record.note_activity(self.kernel.now, self.idle_cap_ms)
             return session
 
-        def submit(from_jid: str, to_jid: str, stanza: dict) -> None:
-            original_submit(from_jid, to_jid, stanza)
+        def submit(from_jid: str, to_jid: str, stanza: dict, parent_span: int = 0) -> None:
+            original_submit(from_jid, to_jid, stanza, parent_span=parent_span)
             if self._is_device(from_jid):
                 record = self._record(from_jid)
                 record.stanzas += 1

@@ -56,9 +56,12 @@ class PogoScheduler:
         self.task_errors = 0
         #: Called with (serial_key, exception) when a task raises.
         self.on_error: List[Callable[[Optional[str], BaseException], None]] = []
-        self._serial_queues: Dict[str, Deque[Tuple[Callable, tuple]]] = {}
+        #: serial key -> queue of (fn, args, enqueued_ms)
+        self._serial_queues: Dict[str, Deque[Tuple[Callable, tuple, float]]] = {}
         self._serial_running: Dict[str, bool] = {}
         self.stopped = False
+        self._spans = kernel.spans
+        self._h_task = kernel.spans.hop("scheduler.task")
 
     # ------------------------------------------------------------------
     def submit(self, fn: Callable[..., Any], *args: Any, serial_key: Optional[str] = None) -> None:
@@ -70,7 +73,7 @@ class PogoScheduler:
             self.kernel.schedule(0.0, self._run_free, fn, args)
         else:
             queue = self._serial_queues.setdefault(serial_key, deque())
-            queue.append((fn, args))
+            queue.append((fn, args, self.kernel.now))
             self._pump_serial(serial_key)
 
     def schedule(
@@ -144,11 +147,17 @@ class PogoScheduler:
         if not queue:
             return
         self._serial_running[key] = True
-        fn, args = queue.popleft()
+        fn, args, enqueued_ms = queue.popleft()
         self.cpu.acquire_wake_lock(WAKE_LOCK_TAG)
-        self.kernel.schedule(0.0, self._run_serial, key, fn, args)
+        self.kernel.schedule(0.0, self._run_serial, key, fn, args, enqueued_ms)
 
-    def _run_serial(self, key: str, fn: Callable, args: tuple) -> None:
+    def _run_serial(self, key: str, fn: Callable, args: tuple, enqueued_ms: float = 0.0) -> None:
+        if self._spans.enabled:
+            # Span covers submit -> execution start: the serialization
+            # queue wait (a slow handler starves its siblings here).
+            self._h_task.record(
+                0, self._spans.active_parent, enqueued_ms, self.kernel.now, {"key": key}
+            )
         try:
             self._execute(fn, args, key)
         finally:
@@ -180,9 +189,11 @@ class SimpleScheduler:
         self.tasks_run = 0
         self.task_errors = 0
         self.on_error: List[Callable[[Optional[str], BaseException], None]] = []
-        self._serial_queues: Dict[str, Deque[Tuple[Callable, tuple]]] = {}
+        self._serial_queues: Dict[str, Deque[Tuple[Callable, tuple, float]]] = {}
         self._serial_running: Dict[str, bool] = {}
         self.stopped = False
+        self._spans = kernel.spans
+        self._h_task = kernel.spans.hop("scheduler.task")
 
     def submit(self, fn: Callable[..., Any], *args: Any, serial_key: Optional[str] = None) -> None:
         if self.stopped:
@@ -191,7 +202,7 @@ class SimpleScheduler:
             self.kernel.schedule(0.0, self._run, fn, args, None)
         else:
             queue = self._serial_queues.setdefault(serial_key, deque())
-            queue.append((fn, args))
+            queue.append((fn, args, self.kernel.now))
             self._pump_serial(serial_key)
 
     def schedule(
@@ -249,11 +260,15 @@ class SimpleScheduler:
         if not queue:
             return
         self._serial_running[key] = True
-        fn, args = queue.popleft()
-        self.kernel.schedule(0.0, self._run, fn, args, key)
+        fn, args, enqueued_ms = queue.popleft()
+        self.kernel.schedule(0.0, self._run, fn, args, key, enqueued_ms)
 
-    def _run(self, fn: Callable, args: tuple, key: Optional[str]) -> None:
+    def _run(self, fn: Callable, args: tuple, key: Optional[str], enqueued_ms: float = 0.0) -> None:
         self.tasks_run += 1
+        if key is not None and self._spans.enabled:
+            self._h_task.record(
+                0, self._spans.active_parent, enqueued_ms, self.kernel.now, {"key": key}
+            )
         try:
             fn(*args)
         except BaseException as exc:  # noqa: BLE001

@@ -44,6 +44,11 @@ class ScriptTimeoutError(ScriptError):
     """A script call exceeded its watchdog budget."""
 
 
+#: Public alias used by observability consumers (the watchdog span docs
+#: and tests speak of "watchdog timeouts").
+WatchdogTimeout = ScriptTimeoutError
+
+
 class Watchdog:
     """Interrupts script code that runs past its budget.
 
@@ -145,6 +150,16 @@ class ScriptHost:
         self.published_bytes = 0
         self.timers_set = 0
 
+        # Observability plane, pre-bound once per host.  Wall-clock call
+        # durations go ONLY into the metrics histogram — never into spans,
+        # whose exports must be byte-identical across identical seeded
+        # runs (sim-time is deterministic; wall time is not).
+        kernel = context.node.kernel
+        self._m_call_ms = kernel.metrics.histogram(f"script.call_ms.{self.serial_key}")
+        self._spans = kernel.spans
+        self._h_call = kernel.spans.hop("script.call")
+        self._h_watchdog = kernel.spans.hop("script.watchdog")
+
     # ------------------------------------------------------------------
     @property
     def serial_key(self) -> str:
@@ -218,12 +233,39 @@ class ScriptHost:
         if not self.running:
             return
         self.invocations += 1
+        started = time.perf_counter()
+        spans = self._spans
         try:
             self.watchdog.guard(fn, *args)
         except BaseException as exc:  # noqa: BLE001
             if isinstance(exc, ScriptTimeoutError):
                 self.context.node.kernel.metrics.counter("watchdog.hits").inc()
+                if spans.enabled:
+                    now = spans.now()
+                    self._h_watchdog.record(
+                        0,
+                        spans.active_parent,
+                        now,
+                        now,
+                        {
+                            "script": self.serial_key,
+                            "fn": getattr(fn, "__name__", repr(fn)),
+                            "budget_ms": self.watchdog.timeout_ms,
+                        },
+                    )
             self.errors.append(exc)
+        finally:
+            # Wall-clock duration: metrics only (see __init__ note).
+            self._m_call_ms.observe((time.perf_counter() - started) * 1000.0)
+            if spans.enabled:
+                now = spans.now()
+                self._h_call.record(
+                    0,
+                    spans.active_parent,
+                    now,
+                    now,
+                    {"script": self.serial_key, "fn": getattr(fn, "__name__", repr(fn))},
+                )
 
     # ------------------------------------------------------------------
     # API backends (called from the namespace built by repro.core.api)

@@ -110,8 +110,36 @@ class TransmissionPolicy:
         self._flush("connected")
 
     def _flush(self, reason: str) -> None:
-        if self._controller is not None:
-            self._controller.kernel.metrics.counter(f"tailsync.flush.{reason}").inc()
+        if self._controller is None:
+            return
+        kernel = self._controller.kernel
+        kernel.metrics.counter(f"tailsync.flush.{reason}").inc()
+        spans = kernel.spans
+        if spans.enabled:
+            # The decision span captures *why* the buffer moved now and
+            # what state the radio was in — "tail-sync" on a hot radio is
+            # the piggyback; "fallback-interval" from idle is the paid
+            # ramp.  node.flush parents its span here via active_parent.
+            phone = self._controller.phone
+            now = kernel.now
+            decision = spans.hop("tailsync.decision").record(
+                0,
+                0,
+                now,
+                now,
+                {
+                    "policy": self.name,
+                    "reason": reason,
+                    "radio": phone.modem.state if phone is not None else "?",
+                },
+            )
+            previous = spans.active_parent
+            spans.active_parent = decision
+            try:
+                self._controller.flush(reason)
+            finally:
+                spans.active_parent = previous
+        else:
             self._controller.flush(reason)
 
     @property

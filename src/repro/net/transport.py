@@ -106,6 +106,8 @@ class DeviceTransport:
         self._m_bytes = metrics.counter("transport.bytes_sent")
         self._m_failures = metrics.counter("transport.send_failures")
         self._m_stanza_bytes = metrics.histogram("transport.stanza_bytes")
+        self._spans = kernel.spans
+        self._h_send = kernel.spans.hop("transport.send")
 
         server.register(jid)
         phone.on_interface_change.append(self._interface_changed)
@@ -195,6 +197,14 @@ class DeviceTransport:
         # canonical JSON, so this does not re-walk the message tree.
         size = message_size_bytes(stanza)
         session = self._session
+        # The transfer completes asynchronously (radio time), so capture
+        # the causal parent — the flush span, when this send is part of a
+        # flush — and the start time here, at initiation.
+        spans = self._spans
+        tracing = spans.enabled
+        parent = spans.active_parent if tracing else 0
+        start_ms = self.kernel.now
+        interface = self.phone.active_interface()
 
         def transfer_done(success: bool) -> None:
             if success and self.connected and self._session is session:
@@ -202,11 +212,28 @@ class DeviceTransport:
                 self._m_stanzas.inc()
                 self._m_bytes.inc(size)
                 self._m_stanza_bytes.observe(size)
-                self.server.submit(self.jid, to_jid, stanza)
+                route_parent = 0
+                if tracing and spans.enabled:
+                    route_parent = self._h_send.record(
+                        0,
+                        parent,
+                        start_ms,
+                        self.kernel.now,
+                        {"bytes": size, "interface": interface or "none", "ok": True},
+                    )
+                self.server.submit(self.jid, to_jid, stanza, parent_span=route_parent)
             else:
                 self.send_failures += 1
                 self._m_failures.inc()
                 success = False
+                if tracing and spans.enabled:
+                    self._h_send.record(
+                        0,
+                        parent,
+                        start_ms,
+                        self.kernel.now,
+                        {"bytes": size, "interface": interface or "none", "ok": False},
+                    )
             if on_complete is not None:
                 on_complete(success)
 

@@ -89,6 +89,8 @@ class XmppServer:
         self._m_lost = metrics.counter("xmpp.stanzas_lost")
         self._m_offline = metrics.counter("xmpp.stanzas_stored_offline")
         self._m_bytes = metrics.counter("xmpp.bytes_delivered")
+        self._spans = kernel.spans
+        self._h_route = kernel.spans.hop("xmpp.route")
 
     # ------------------------------------------------------------------
     # Accounts and rosters (the administrator's surface, Section 3.1)
@@ -179,8 +181,12 @@ class XmppServer:
     # ------------------------------------------------------------------
     # Routing
     # ------------------------------------------------------------------
-    def submit(self, from_jid: str, to_jid: str, stanza: dict) -> None:
-        """Accept a stanza from ``from_jid`` for routing to ``to_jid``."""
+    def submit(self, from_jid: str, to_jid: str, stanza: dict, parent_span: int = 0) -> None:
+        """Accept a stanza from ``from_jid`` for routing to ``to_jid``.
+
+        ``parent_span`` is the sender's transport span; the routing span
+        recorded at the outcome (delivered / offline / lost) hangs off it.
+        """
         if to_jid not in self._accounts:
             raise RoutingError(f"unknown destination JID: {to_jid}")
         if to_jid not in self._rosters.get(from_jid, set()):
@@ -188,44 +194,59 @@ class XmppServer:
         self.note_heard_from(from_jid)
         stamped = dict(stanza)
         stamped["_from"] = from_jid
-        self.kernel.schedule(self.latency_ms, self._route, from_jid, to_jid, stamped)
+        route_ctx = (self.kernel.now, parent_span) if self._spans.enabled else None
+        self.kernel.schedule(self.latency_ms, self._route, from_jid, to_jid, stamped, route_ctx)
 
-    def _route(self, from_jid: str, to_jid: str, stanza: dict) -> None:
+    def _route_span(self, route_ctx, to_jid: str, outcome: str) -> None:
+        if route_ctx is None or not self._spans.enabled:
+            return
+        start_ms, parent = route_ctx
+        self._h_route.record(
+            0, parent, start_ms, self.kernel.now, {"to": to_jid, "outcome": outcome}
+        )
+
+    def _route(self, from_jid: str, to_jid: str, stanza: dict, route_ctx=None) -> None:
         self.stanzas_routed += 1
         self._m_routed.inc()
         session = self._sessions.get(to_jid)
         if session is None:
             self._store_offline(to_jid, stanza)
+            self._route_span(route_ctx, to_jid, "offline")
             return
         if not self._session_considered_alive(session):
             # Keepalive expired: tear the session down and store instead.
             self.disconnect(session)
             self._store_offline(to_jid, stanza)
+            self._route_span(route_ctx, to_jid, "offline")
             return
-        self._deliver_via(session, stanza)
+        self._deliver_via(session, stanza, route_ctx)
 
-    def _deliver_via(self, session: Session, stanza: dict) -> None:
+    def _deliver_via(self, session: Session, stanza: dict, route_ctx=None) -> None:
         # Cached envelope JSON makes this size lookup nearly free even
         # though the transport already accounted the same payload.
         size = message_size_bytes(stanza)
         self._m_bytes.inc(size)
         if session.physical_rx is None:
             # Wired client (collector PC): delivery always succeeds.
+            self._route_span(route_ctx, session.jid, "delivered")
             session.deliver(stanza)
             return
 
         def complete(success: bool) -> None:
             if success and session.alive:
+                self._route_span(route_ctx, session.jid, "delivered")
                 session.deliver(stanza)
             else:
                 # Sent into a dead interface: the loss the paper observed.
                 # The failed write also reveals the session is gone, so
                 # subsequent stanzas go to offline storage instead.
+                self._route_span(route_ctx, session.jid, "lost")
                 self._lose(session, stanza)
 
         try:
             session.physical_rx(size, complete)
         except Exception:
+            self._route_span(route_ctx, session.jid, "lost")
             self._lose(session, stanza)
 
     def _lose(self, session: Session, stanza: dict) -> None:

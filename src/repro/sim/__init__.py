@@ -4,6 +4,7 @@ from .kernel import DAY, HOUR, MINUTE, SECOND, EventHandle, Kernel, SimulationEr
 from .metrics import Counter, Histogram, MetricsRegistry
 from .process import Process, Signal, spawn
 from .randomness import RandomStreams, derive_seed
+from .spans import EnergyLedger, HopHandle, Span, SpanRecorder
 from .trace import Interval, IntervalTrack, TimeSeries, TraceEvent, TraceRecorder
 
 __all__ = [
@@ -22,6 +23,10 @@ __all__ = [
     "spawn",
     "RandomStreams",
     "derive_seed",
+    "EnergyLedger",
+    "HopHandle",
+    "Span",
+    "SpanRecorder",
     "Interval",
     "IntervalTrack",
     "TimeSeries",

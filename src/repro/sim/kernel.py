@@ -22,6 +22,7 @@ import itertools
 from typing import Any, Callable, List, Optional, Tuple
 
 from .metrics import MetricsRegistry
+from .spans import SpanRecorder
 
 #: Convenience time constants, all in milliseconds.
 MILLISECOND = 1.0
@@ -100,6 +101,12 @@ class Kernel:
         self.metrics = MetricsRegistry()
         self.metrics.gauge("kernel.events", lambda: self.events_executed)
         self.metrics.gauge("kernel.pending_events", lambda: self.pending_events)
+        #: The kernel's flight recorder.  Components pre-bind hop handles
+        #: (``kernel.spans.hop("buffer.dwell")``) at construction; the ring
+        #: bounds memory and the gauges surface volume/eviction pressure.
+        self.spans = SpanRecorder(clock=lambda: self._now)
+        self.metrics.gauge("spans.recorded", lambda: self.spans.recorded)
+        self.metrics.gauge("spans.dropped", lambda: self.spans.dropped)
 
     # ------------------------------------------------------------------
     # Clock

@@ -51,6 +51,45 @@ def test_metrics(capsys):
             assert int(line.split()[-1].replace(",", "")) > 0
 
 
+def test_metrics_json(capsys):
+    import json
+
+    assert main(["--seed", "3", "metrics", "--devices", "2", "--hours", "0.5",
+                 "--json"]) == 0
+    snapshot = json.loads(capsys.readouterr().out)
+    assert snapshot["broker.publishes"] > 0
+    assert snapshot["node.batch_payloads"]["count"] > 0
+
+
+def test_trace(capsys):
+    assert main(["--seed", "3", "trace", "--devices", "2", "--hours", "0.5"]) == 0
+    out = capsys.readouterr().out
+    assert "per-hop latency:" in out
+    assert "buffer.dwell" in out
+    assert "deliver.collector" in out
+    assert "per-message energy attribution" in out
+    assert "reconciliation delta" in out
+
+
+def test_trace_json_and_export(tmp_path, capsys):
+    import json
+
+    path = tmp_path / "spans.jsonl"
+    assert main(["--seed", "3", "trace", "--devices", "2", "--hours", "0.5",
+                 "--json", "--export", str(path)]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["devices"] == 2
+    assert report["spans"]["recorded"] > 0
+    assert "publish" in report["hops"]
+    assert report["energy"]["reconciliation_delta"] < 0.01
+
+    lines = path.read_text().splitlines()
+    assert len(lines) == report["spans"]["in_ring"]
+    first = json.loads(lines[0])
+    assert set(first) == {"span", "trace", "parent", "hop", "start_ms",
+                          "end_ms", "attrs"}
+
+
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["frobnicate"])

@@ -63,6 +63,43 @@ def test_trace_export_serializes_data():
     assert '"new": "ramp"' in rows[1][3]
 
 
+def make_spans():
+    from repro.sim.spans import SpanRecorder
+
+    recorder = SpanRecorder()
+    root = recorder.hop("publish").record(1, 0, 0.0, 0.0, {"channel": "battery"})
+    recorder.hop("buffer.dwell").record(1, root, 0.0, 512.5, {"bytes": 75})
+    return recorder
+
+
+def test_spans_to_csv():
+    from repro.analysis.export import spans_to_csv
+
+    text = spans_to_csv(make_spans())
+    rows = list(csv.reader(io.StringIO(text)))
+    assert rows[0] == ["span", "trace", "parent", "hop", "start_ms", "end_ms", "attrs"]
+    assert rows[1][:4] == ["1", "1", "0", "publish"]
+    assert rows[2][3:6] == ["buffer.dwell", "0.000", "512.500"]
+    assert '"bytes": 75' in rows[2][6]
+
+
+def test_spans_jsonl_roundtrip_string_and_file(tmp_path):
+    from repro.analysis.export import spans_from_jsonl, spans_to_jsonl
+
+    recorder = make_spans()
+    text = spans_to_jsonl(recorder)
+    assert text.count("\n") == 2
+
+    path = tmp_path / "spans.jsonl"
+    assert spans_to_jsonl(recorder, str(path)) is None
+    assert path.read_text() == text
+
+    restored = spans_from_jsonl(str(path))
+    assert [s.to_dict() for s in restored] == [s.to_dict() for s in recorder]
+    # Round-tripping the restored spans reproduces the bytes exactly.
+    assert spans_to_jsonl(restored) == text
+
+
 def test_rows_export():
     text = rows_to_csv(["user", "scans"], [["user1", 100], ["user2", 200]])
     rows = list(csv.reader(io.StringIO(text)))

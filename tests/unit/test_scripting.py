@@ -197,6 +197,49 @@ def test_watchdog_guard_passes_results_through():
     assert watchdog.violations == 0
 
 
+def test_watchdog_timeout_emits_span_with_call_attrs():
+    kernel, _, context, host = make_host(
+        "def handler(msg):\n"
+        "    while True:\n"
+        "        pass\n"
+        "subscribe('ch', handler)\n",
+        watchdog_ms=50.0,
+    )
+    context.broker.publish("ch", "go")
+    kernel.run_until(100.0)
+    (span,) = kernel.spans.spans(hop="script.watchdog")
+    assert span.attrs["script"] == "exp/test"
+    assert span.attrs["fn"] == "handler"
+    assert span.attrs["budget_ms"] == 50.0
+    assert kernel.metrics.counter("watchdog.hits").value == 1
+
+
+def test_watchdog_timeout_alias_is_public():
+    from repro.core.scripting import WatchdogTimeout
+
+    assert WatchdogTimeout is ScriptTimeoutError
+
+
+def test_script_call_durations_land_in_per_script_histogram():
+    kernel, _, context, host = make_host(
+        "def handler(msg):\n"
+        "    pass\n"
+        "subscribe('ch', handler)\n"
+    )
+    context.broker.publish("ch", 1)
+    context.broker.publish("ch", 2)
+    kernel.run_until(50.0)
+    histogram = kernel.metrics.histogram("script.call_ms.exp/test")
+    # load() + two handler invocations, wall-clock durations observed.
+    assert histogram.count == host.invocations
+    assert histogram.count >= 2
+    assert histogram.max is not None and histogram.max >= 0.0
+    # Sim-time call spans exist too, but never carry wall-clock values.
+    calls = kernel.spans.spans(hop="script.call")
+    assert len(calls) >= 2
+    assert all(span.duration_ms == 0.0 for span in calls)
+
+
 def test_handler_errors_recorded_not_raised():
     kernel, _, context, host = make_host(
         "def handler(msg):\n"

@@ -46,6 +46,33 @@ class TestTraceRecorder:
         trace.clear()
         assert len(trace) == 0
 
+    def test_ring_mode_keeps_most_recent_and_counts_dropped(self):
+        trace = TraceRecorder(lambda: 0.0, max_events=3)
+        for i in range(5):
+            trace.record("src", f"event-{i}")
+        assert len(trace) == 3
+        assert [e.kind for e in trace] == ["event-2", "event-3", "event-4"]
+        assert trace.recorded == 5
+        assert trace.dropped == 2
+        # Unbounded mode never drops.
+        unbounded = TraceRecorder(lambda: 0.0)
+        unbounded.record("src", "event")
+        assert unbounded.dropped == 0
+
+    def test_ring_mode_requires_positive_capacity(self):
+        with pytest.raises(ValueError):
+            TraceRecorder(lambda: 0.0, max_events=0)
+
+    def test_clear_resets_dropped_accounting(self):
+        trace = TraceRecorder(lambda: 0.0, max_events=2)
+        for i in range(4):
+            trace.record("src", str(i))
+        trace.clear()
+        assert trace.recorded == 0
+        assert trace.dropped == 0
+        trace.record("src", "fresh")
+        assert trace.recorded == 1 and trace.dropped == 0
+
 
 class TestIntervalTrack:
     def test_open_close_records_interval(self):
