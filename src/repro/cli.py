@@ -15,6 +15,8 @@ power-report     per-script resource estimates after a simulated run
 metrics          kernel metrics plane report after a simulated run
 trace            message lifecycle tracing: per-hop latency, span tree,
                  per-message energy attribution (supports --json/--export)
+chaos            deterministic fault injection + invariant verdict
+                 (scenario presets, --report JSON, --inject-bug canary)
 
 Every command accepts ``--seed`` and prints a deterministic report.
 """
@@ -25,6 +27,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from . import chaos as _chaos
 from .sim.kernel import MINUTE
 
 
@@ -78,6 +81,24 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="machine-readable summary instead of text")
     trace.add_argument("--export", metavar="PATH",
                        help="write the flight recorder's spans as JSONL")
+
+    chaos = sub.add_parser(
+        "chaos", help="deterministic fault injection + invariant verdict"
+    )
+    chaos.add_argument("--scenario", default="mixed",
+                       help="preset name (see --list)")
+    chaos.add_argument("--list", action="store_true",
+                       help="list the scenario presets and exit")
+    chaos.add_argument("--minutes", type=float, default=None,
+                       help="fault-window length (default: per scenario)")
+    chaos.add_argument("--devices", type=int, default=3)
+    chaos.add_argument("--report", metavar="PATH",
+                       help="write the full report as canonical JSON")
+    chaos.add_argument("--json", action="store_true",
+                       help="print the canonical JSON report instead of text")
+    chaos.add_argument("--inject-bug", choices=list(_chaos.BUGS), default=None,
+                       help="deliberately break the middleware to prove the "
+                            "monitor catches it")
 
     return parser
 
@@ -426,6 +447,29 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_chaos(args) -> int:
+    if args.list:
+        for name in sorted(_chaos.SCENARIOS):
+            scenario = _chaos.SCENARIOS[name]
+            print(f"{name:<16} {scenario.default_minutes:>4.0f} min  {scenario.description}")
+        return 0
+    report = _chaos.run_scenario(
+        args.scenario,
+        seed=args.seed,
+        minutes=args.minutes,
+        devices=args.devices,
+        inject_bug=args.inject_bug,
+    )
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as fh:
+            fh.write(_chaos.report_json(report))
+    if args.json:
+        print(_chaos.report_json(report), end="")
+    else:
+        print(_chaos.render_report(report))
+    return 1 if report["violation_count"] else 0
+
+
 _COMMANDS = {
     "quickstart": cmd_quickstart,
     "localization": cmd_localization,
@@ -437,6 +481,7 @@ _COMMANDS = {
     "power-report": cmd_power_report,
     "metrics": cmd_metrics,
     "trace": cmd_trace,
+    "chaos": cmd_chaos,
 }
 
 

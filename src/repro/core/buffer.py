@@ -201,6 +201,15 @@ class MessageBuffer:
     def empty(self) -> bool:
         return len(self.store) == 0
 
+    def conservation_error(self) -> int:
+        """``enqueued − drained − expired − occupancy``; zero when the
+        books balance.  Every message that ever entered the buffer must
+        be accounted as drained (handed to the reliable layer), expired
+        (the 24-hour purge) or still waiting — the buffer-occupancy
+        invariant the chaos monitor checks continuously.
+        """
+        return self.enqueued - self.drained - self.expired - len(self.store)
+
     def purge_expired(self) -> int:
         """Drop messages older than ``max_age_ms``.  Returns the count.
 

@@ -29,7 +29,7 @@ from ..sensors.battery_sensor import BatterySensor
 from ..sensors.location import LocationSensor
 from ..sensors.microphone import MicrophoneSensor, ambient_db_for
 from ..sensors.wifi_scanner import WifiScanSensor
-from ..sim.kernel import HOUR, Kernel
+from ..sim.kernel import HOUR, MINUTE, Kernel
 from ..sim.randomness import RandomStreams
 from ..sim.trace import TraceRecorder
 from ..world.environment import ConnectivityDriver, UserWorld, build_user_world
@@ -191,6 +191,7 @@ class PogoSimulation:
     def run(
         self,
         duration_ms: Optional[float] = None,
+        minutes: Optional[float] = None,
         hours: Optional[float] = None,
         days: Optional[float] = None,
     ) -> None:
@@ -198,6 +199,8 @@ class PogoSimulation:
         total = 0.0
         if duration_ms is not None:
             total += duration_ms
+        if minutes is not None:
+            total += minutes * MINUTE
         if hours is not None:
             total += hours * HOUR
         if days is not None:

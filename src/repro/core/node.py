@@ -88,6 +88,9 @@ class DeviceNode:
         #: Called with each newly created DeviceContext (instrumentation,
         #: e.g. the deployment study's SD-card scan logger).
         self.on_context_added: List = []
+        #: Called with each lazily created ReliableLink (the chaos
+        #: invariant monitor attaches its protocol witness here).
+        self.on_link_created: List = []
         self.flush_count = 0
         self.flush_reasons: Counter = Counter()
         self.batches_sent = 0
@@ -293,6 +296,8 @@ class DeviceNode:
                 request_ack_send=lambda: None,
             )
             self.links[peer_jid] = link
+            for listener in list(self.on_link_created):
+                listener(link)
         return link
 
     def _raw_send(self, peer_jid: str, stanza: dict) -> None:
@@ -380,6 +385,8 @@ class CollectorNode:
         #: Collector-side services (e.g. the geolocation bridge); attached
         #: to every context created by :meth:`deploy`.
         self.services: List[object] = []
+        #: Called with each lazily created ReliableLink (chaos monitor).
+        self.on_link_created: List = []
 
         self.transport.on_stanza.append(self._on_stanza)
 
@@ -440,6 +447,8 @@ class CollectorNode:
                 request_ack_send=lambda p=peer_jid: self._send_ack(p),
             )
             self.links[peer_jid] = link
+            for listener in list(self.on_link_created):
+                listener(link)
         return link
 
     def _raw_send(self, peer_jid: str, stanza: dict) -> None:

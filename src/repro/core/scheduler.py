@@ -62,6 +62,11 @@ class PogoScheduler:
         self.stopped = False
         self._spans = kernel.spans
         self._h_task = kernel.spans.hop("scheduler.task")
+        #: Chaos seam: a witness with ``task_started(scheduler, key)`` /
+        #: ``task_finished(scheduler, key)``, used by the invariant
+        #: monitor to prove the paper's serialization guarantee ("only a
+        #: single thread will run code from a given script at any time").
+        self.observer = None
 
     # ------------------------------------------------------------------
     def submit(self, fn: Callable[..., Any], *args: Any, serial_key: Optional[str] = None) -> None:
@@ -168,12 +173,18 @@ class PogoScheduler:
     def _execute(self, fn: Callable, args: tuple, key: Optional[str]) -> None:
         self.tasks_run += 1
         self.cpu.note_activity()
+        observer = self.observer
+        if observer is not None:
+            observer.task_started(self, key)
         try:
             fn(*args)
         except BaseException as exc:  # noqa: BLE001 - containment is the point
             self.task_errors += 1
             for listener in list(self.on_error):
                 listener(key, exc)
+        finally:
+            if observer is not None:
+                observer.task_finished(self, key)
 
 
 class SimpleScheduler:
@@ -194,6 +205,8 @@ class SimpleScheduler:
         self.stopped = False
         self._spans = kernel.spans
         self._h_task = kernel.spans.hop("scheduler.task")
+        #: Chaos seam: same witness interface as :class:`PogoScheduler`.
+        self.observer = None
 
     def submit(self, fn: Callable[..., Any], *args: Any, serial_key: Optional[str] = None) -> None:
         if self.stopped:
@@ -269,6 +282,9 @@ class SimpleScheduler:
             self._h_task.record(
                 0, self._spans.active_parent, enqueued_ms, self.kernel.now, {"key": key}
             )
+        observer = self.observer
+        if observer is not None:
+            observer.task_started(self, key)
         try:
             fn(*args)
         except BaseException as exc:  # noqa: BLE001
@@ -276,6 +292,8 @@ class SimpleScheduler:
             for listener in list(self.on_error):
                 listener(key, exc)
         finally:
+            if observer is not None:
+                observer.task_finished(self, key)
             if key is not None:
                 self._serial_running[key] = False
                 self._pump_serial(key)

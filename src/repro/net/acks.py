@@ -20,6 +20,13 @@ on top of XMPP to recover from message loss."
 * if the sender ever has to abandon unacked envelopes (the 24-hour
   expiry), it advances an explicit ``base`` so the receiver skips the
   gap instead of stalling forever.
+
+A link optionally carries a :class:`LinkObserver` (``link.observer``):
+a passive tap the chaos invariant monitor uses to verify, from the
+*outside*, that the guarantees above actually hold under fault load —
+exactly-once, in-order delivery, monotone cumulative acks, and
+conservation of every sequence number ever transmitted.  The hot path
+pays one ``is None`` check per event when no observer is attached.
 """
 
 from __future__ import annotations
@@ -27,6 +34,37 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..sim.kernel import Kernel, MINUTE
+
+
+class LinkObserver:
+    """Passive per-link tap for protocol verification (no-op base).
+
+    All callbacks receive the link so one observer instance can watch
+    many links.  Overrides must not mutate link state — the monitor is a
+    read-only witness; perturbing the protocol would invalidate the very
+    run it is checking.
+    """
+
+    def on_transmit(self, link: "ReliableLink", seq: int, payload: Any, retransmit: bool) -> None:
+        pass
+
+    def on_deliver(self, link: "ReliableLink", seq: int, payload: Any) -> None:
+        pass
+
+    def on_duplicate(self, link: "ReliableLink", seq: int) -> None:
+        pass
+
+    def on_gap_skip(self, link: "ReliableLink", old_expected: int, base: int) -> None:
+        pass
+
+    def on_abandon(self, link: "ReliableLink", seqs: List[int]) -> None:
+        pass
+
+    def on_ack_received(self, link: "ReliableLink", ack: int) -> None:
+        pass
+
+    def on_ack_emitted(self, link: "ReliableLink", ack: int) -> None:
+        pass
 
 
 class ReliableLink:
@@ -66,6 +104,9 @@ class ReliableLink:
         self.duplicates = 0
         self.abandoned = 0
 
+        #: Optional protocol witness (see :class:`LinkObserver`).
+        self.observer: Optional[LinkObserver] = None
+
     # ------------------------------------------------------------------
     # Sending
     # ------------------------------------------------------------------
@@ -77,12 +118,17 @@ class ReliableLink:
         self._transmit(seq)
         return seq
 
-    def _transmit(self, seq: int) -> None:
+    def _transmit(self, seq: int, retransmit: bool = False) -> None:
         self.sent += 1
         self._sent_at[seq] = self.kernel.now
+        if self.observer is not None:
+            self.observer.on_transmit(self, seq, self._unacked[seq], retransmit)
         self._send_raw(self._envelope(seq))
 
     def _envelope(self, seq: int) -> dict:
+        if self.observer is not None:
+            # The piggybacked cumulative ack is an ack emission too.
+            self.observer.on_ack_emitted(self, self._expected - 1)
         return {
             "kind": "env",
             "seq": seq,
@@ -109,6 +155,8 @@ class ReliableLink:
             self.abandoned += 1
         if abandoned:
             self._base_seq = max(self._base_seq, max(abandoned) + 1)
+            if self.observer is not None:
+                self.observer.on_abandon(self, sorted(abandoned))
         resent = 0
         for seq in sorted(self._unacked):
             # Only retransmit envelopes that have been out for a while;
@@ -116,7 +164,7 @@ class ReliableLink:
             if self.kernel.now - self._sent_at.get(seq, 0.0) >= min(
                 self.resend_interval_ms, 30_000.0
             ):
-                self._transmit(seq)
+                self._transmit(seq, retransmit=True)
                 resent += 1
                 self.resent += 1
         return resent
@@ -145,25 +193,34 @@ class ReliableLink:
         base = int(stanza.get("base", 1))
         if base > self._expected:
             # Sender abandoned a range; skip the gap.
+            if self.observer is not None:
+                self.observer.on_gap_skip(self, self._expected, base)
             for missing in list(self._out_of_order):
                 if missing < base:
                     del self._out_of_order[missing]
             self._expected = base
         if seq < self._expected or seq in self._out_of_order:
             self.duplicates += 1
+            if self.observer is not None:
+                self.observer.on_duplicate(self, seq)
             self._ack_dirty = True
             self._request_ack_send()
             return
         self._out_of_order[seq] = stanza["payload"]
         while self._expected in self._out_of_order:
             payload = self._out_of_order.pop(self._expected)
+            delivered_seq = self._expected
             self._expected += 1
             self.delivered += 1
+            if self.observer is not None:
+                self.observer.on_deliver(self, delivered_seq, payload)
             self._deliver(payload)
         self._ack_dirty = True
         self._request_ack_send()
 
     def _on_ack(self, ack: int) -> None:
+        if self.observer is not None:
+            self.observer.on_ack_received(self, ack)
         for seq in list(self._unacked):
             if seq <= ack:
                 del self._unacked[seq]
@@ -181,6 +238,8 @@ class ReliableLink:
         if not self._ack_dirty:
             return None
         self._ack_dirty = False
+        if self.observer is not None:
+            self.observer.on_ack_emitted(self, self._expected - 1)
         return {"kind": "ack", "ack": self._expected - 1}
 
     def current_ack(self) -> int:

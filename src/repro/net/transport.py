@@ -34,14 +34,23 @@ class TransportError(Exception):
 class WiredTransport:
     """Collector-side client: a PC on a wired connection, always on."""
 
-    def __init__(self, kernel: Kernel, server: XmppServer, jid: str) -> None:
+    def __init__(
+        self,
+        kernel: Kernel,
+        server: XmppServer,
+        jid: str,
+        reconnect_delay_ms: float = 2 * SECOND,
+    ) -> None:
         self.kernel = kernel
         self.server = server
         self.jid = jid
+        self.reconnect_delay_ms = reconnect_delay_ms
         self.on_stanza: List[Callable[[str, dict], None]] = []
         self.on_connected: List[Callable[[], None]] = []
         self._session: Optional[Session] = None
+        self._reconnecting = False
         self.stanzas_sent = 0
+        self.reconnects = 0
         self._m_stanzas = kernel.metrics.counter("transport.stanzas_sent")
         server.register(jid)
 
@@ -53,6 +62,25 @@ class WiredTransport:
     @property
     def connected(self) -> bool:
         return self._session is not None and self._session.alive
+
+    def notice_connection_lost(self) -> None:
+        """The server reset the connection (restart): re-dial shortly.
+
+        A wired client's reconnect loop is aggressive — there is no
+        radio to spare — so the collector is back within seconds.
+        """
+        self._session = None
+        if self._reconnecting:
+            return
+        self._reconnecting = True
+        self.kernel.schedule(self.reconnect_delay_ms, self._reconnect)
+
+    def _reconnect(self) -> None:
+        self._reconnecting = False
+        if self.connected:
+            return
+        self.reconnects += 1
+        self.start()
 
     def send(self, to_jid: str, stanza: dict, on_complete: Optional[Callable[[bool], None]] = None) -> None:
         if not self.connected:
@@ -147,6 +175,22 @@ class DeviceTransport:
     def _on_shutdown(self) -> None:
         self._session = None
         self._session_interface = None
+
+    def notice_connection_lost(self) -> None:
+        """The far end reset the TCP connection (XMPP server restart).
+
+        Android's connection manager surfaces the reset to the client,
+        which re-dials after the usual handshake delay — the same path an
+        interface change takes, minus the stale-session loss window
+        (both ends already know the old session is gone).
+        """
+        if not self._started:
+            return
+        if self._session is not None:
+            self._session.close()
+            self._session = None
+            self._session_interface = None
+        self._schedule_connect(self.reconnect_delay_ms)
 
     def _schedule_connect(self, delay_ms: float) -> None:
         if self._connecting:

@@ -40,6 +40,21 @@ class RoutingError(Exception):
 _session_ids = itertools.count(1)
 
 
+class LinkInterceptor:
+    """Interface for the chaos seam on :attr:`XmppServer.interceptor`.
+
+    :meth:`intercept` is consulted once per submitted stanza and returns
+    the *delivery plan*: a list of extra latencies (ms, on top of the
+    server's base latency), one entry per copy to route.  ``[0.0]`` is
+    the unimpaired path, ``[]`` drops the stanza, ``[0.0, 0.0]``
+    duplicates it, and a large single entry holds it back so later
+    traffic overtakes it (reordering).
+    """
+
+    def intercept(self, from_jid: str, to_jid: str, stanza: dict) -> List[float]:
+        raise NotImplementedError
+
+
 class Session:
     """One client's connection to the server.
 
@@ -81,9 +96,16 @@ class XmppServer:
         self._sessions: Dict[str, Session] = {}
         self._offline: Dict[str, Deque[dict]] = {}
         self._last_heard: Dict[str, float] = {}
+        #: Chaos seam (repro.chaos).  When set, every submitted stanza asks
+        #: the interceptor for its fate: a list of extra latencies, one per
+        #: delivery attempt (empty = dropped, two entries = duplicated, a
+        #: large entry = held back past later traffic, i.e. reordered).
+        #: ``None`` keeps the plain single-delivery path with zero overhead.
+        self.interceptor: Optional["LinkInterceptor"] = None
         self.stanzas_routed = 0
         self.stanzas_lost = 0
         self.stanzas_stored_offline = 0
+        self.restarts = 0
         metrics = kernel.metrics
         self._m_routed = metrics.counter("xmpp.stanzas_routed")
         self._m_lost = metrics.counter("xmpp.stanzas_lost")
@@ -160,6 +182,25 @@ class XmppServer:
         if self.trace is not None:
             self.trace.record("xmpp", "disconnect", jid=session.jid, session=session.id)
 
+    def restart(self) -> List[str]:
+        """Server process restart: every live TCP session dies at once.
+
+        Clients observe a connection reset and must re-handshake (the
+        chaos engine tells their transports via
+        ``notice_connection_lost``).  Offline storage survives — Openfire
+        keeps it in its database — so only stanzas in flight into the
+        dead sessions are at risk, which is exactly the loss window the
+        end-to-end acks repair.  Returns the JIDs that were connected.
+        """
+        jids = sorted(self._sessions)
+        for session in list(self._sessions.values()):
+            session.close()
+        self._sessions.clear()
+        self.restarts += 1
+        if self.trace is not None:
+            self.trace.record("xmpp", "restart", sessions=len(jids))
+        return jids
+
     def session_of(self, jid: str) -> Optional[Session]:
         return self._sessions.get(jid)
 
@@ -195,7 +236,14 @@ class XmppServer:
         stamped = dict(stanza)
         stamped["_from"] = from_jid
         route_ctx = (self.kernel.now, parent_span) if self._spans.enabled else None
-        self.kernel.schedule(self.latency_ms, self._route, from_jid, to_jid, stamped, route_ctx)
+        interceptor = self.interceptor
+        if interceptor is None:
+            self.kernel.schedule(self.latency_ms, self._route, from_jid, to_jid, stamped, route_ctx)
+            return
+        for extra_ms in interceptor.intercept(from_jid, to_jid, stamped):
+            self.kernel.schedule(
+                self.latency_ms + extra_ms, self._route, from_jid, to_jid, stamped, route_ctx
+            )
 
     def _route_span(self, route_ctx, to_jid: str, outcome: str) -> None:
         if route_ctx is None or not self._spans.enabled:

@@ -3,7 +3,7 @@
 from .kernel import DAY, HOUR, MINUTE, SECOND, EventHandle, Kernel, SimulationError
 from .metrics import Counter, Histogram, MetricsRegistry
 from .process import Process, Signal, spawn
-from .randomness import RandomStreams, derive_seed
+from .randomness import RandomStreams, as_random, derive_seed
 from .spans import EnergyLedger, HopHandle, Span, SpanRecorder
 from .trace import Interval, IntervalTrack, TimeSeries, TraceEvent, TraceRecorder
 
@@ -22,6 +22,7 @@ __all__ = [
     "Signal",
     "spawn",
     "RandomStreams",
+    "as_random",
     "derive_seed",
     "EnergyLedger",
     "HopHandle",

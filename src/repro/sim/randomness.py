@@ -52,3 +52,29 @@ class RandomStreams:
 
     def __contains__(self, name: str) -> bool:
         return name in self._streams
+
+
+def as_random(source, name: str) -> random.Random:
+    """Coerce ``source`` into a seeded, private :class:`random.Random`.
+
+    Accepts a :class:`random.Random` instance (used as-is), a
+    :class:`RandomStreams` registry (the ``name`` stream is drawn), or an
+    ``int`` root seed (a stream derived with ``name`` — so two consumers
+    given the same seed but different names stay independent).
+
+    The *bare* :mod:`random` module — process-global, shared-order state
+    that silently breaks bit-for-bit reproducibility — is rejected with a
+    ``TypeError`` instead of being accepted as a duck-typed ``Random``.
+    """
+    if source is random:
+        raise TypeError(
+            "the global random module is not reproducible; pass a seeded "
+            "random.Random, a RandomStreams, or an int seed"
+        )
+    if isinstance(source, random.Random):
+        return source
+    if isinstance(source, RandomStreams):
+        return source.stream(name)
+    if isinstance(source, int):
+        return random.Random(derive_seed(source, name))
+    raise TypeError(f"cannot derive a random stream from {type(source).__name__}")

@@ -19,11 +19,11 @@ regenerate the paper's match/partial percentages mechanism-for-mechanism.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
 from ..sim.kernel import DAY, HOUR, MINUTE, Kernel
+from ..sim.randomness import as_random
 
 REBOOT = "reboot"
 BATTERY_OUT = "battery_out"
@@ -101,12 +101,19 @@ class DisruptionPlan:
 
 
 def random_reboots(
-    rng: random.Random,
+    rng,
     days: int,
     rate_per_day: float = 0.18,
     start_ms: float = 0.0,
 ) -> List[Disruption]:
-    """Poisson-ish reboot schedule over the deployment."""
+    """Poisson-ish reboot schedule over the deployment.
+
+    ``rng`` is anything :func:`~repro.sim.randomness.as_random` accepts —
+    a seeded ``random.Random``, a ``RandomStreams`` registry or an int
+    seed.  The bare ``random`` module is rejected: disruption schedules
+    must replay bit-for-bit from the experiment seed alone.
+    """
+    rng = as_random(rng, "disruptions/reboots")
     events: List[Disruption] = []
     t = start_ms
     horizon = start_ms + days * DAY
@@ -118,6 +125,39 @@ def random_reboots(
         if t >= horizon:
             break
         events.append(Disruption(t, REBOOT))
+    return events
+
+
+def random_data_gaps(
+    rng,
+    days: int,
+    rate_per_day: float = 0.5,
+    mean_gap_minutes: float = 20.0,
+    start_ms: float = 0.0,
+) -> List[Disruption]:
+    """Random mobile-data outages: DATA_OFF / DATA_ON window pairs.
+
+    Generalizes user 2a's roaming-off trip and user 3's flaky 3G into a
+    churn process the chaos scenarios can dial up: outages arrive
+    Poisson-ish at ``rate_per_day`` and last an exponentially distributed
+    number of minutes.  Draws go through the same seeded-stream
+    discipline as :func:`random_reboots`.
+    """
+    rng = as_random(rng, "disruptions/data-gaps")
+    events: List[Disruption] = []
+    if rate_per_day <= 0:
+        return events
+    t = start_ms
+    horizon = start_ms + days * DAY
+    mean_arrival_gap = DAY / rate_per_day
+    while True:
+        t += rng.expovariate(1.0 / mean_arrival_gap)
+        if t >= horizon:
+            break
+        duration = rng.expovariate(1.0 / (mean_gap_minutes * MINUTE))
+        events.append(Disruption(t, DATA_OFF))
+        events.append(Disruption(min(t + duration, horizon), DATA_ON))
+        t += duration
     return events
 
 
@@ -161,15 +201,20 @@ def cell_outage(start_day: float, end_day: float) -> List[Disruption]:
 
 
 def standard_plan(
-    rng: random.Random,
+    rng,
     days: int,
     reboot_rate_per_day: float = 0.18,
     update_days: Optional[List[int]] = None,
     extra: Optional[List[Disruption]] = None,
 ) -> DisruptionPlan:
-    """The default per-user plan: random reboots + shared script updates."""
+    """The default per-user plan: random reboots + shared script updates.
+
+    ``rng`` follows the :func:`random_reboots` contract (seeded
+    ``random.Random`` / ``RandomStreams`` / int seed; never the global
+    ``random`` module).
+    """
     plan = DisruptionPlan()
-    plan.events.extend(random_reboots(rng, days, reboot_rate_per_day))
+    plan.events.extend(random_reboots(as_random(rng, "disruptions/reboots"), days, reboot_rate_per_day))
     plan.events.extend(script_update_schedule(days, update_days))
     if extra:
         plan.events.extend(extra)

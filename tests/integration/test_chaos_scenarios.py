@@ -1,0 +1,60 @@
+"""Integration: chaos scenarios end to end.
+
+Two claims, both load-bearing for the chaos subsystem's credibility:
+
+1. On the *current* middleware, every preset campaign ends with zero
+   invariant violations — the pipeline's guarantees survive drops,
+   duplication, reordering, partitions, server bounces and churn.
+2. The monitor is not a rubber stamp: a deliberately broken middleware
+   (retransmission skipped, an unacked envelope forgotten) is caught,
+   and the report names the offending envelopes' trace ids.
+"""
+
+import pytest
+
+from repro.chaos import SCENARIOS, run_scenario
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_preset_holds_all_invariants(name, chaos_run):
+    report = chaos_run(name)
+    assert report["violations"] == [], "\n".join(
+        str(v) for v in report["violations"]
+    )
+    # The campaign must actually have done something (faults or traffic
+    # shaping), and the workload must have produced data despite it.
+    assert sum(report["chaos"].values()) > 0
+    assert report["pipeline"]["readings"] > 0
+
+
+def test_faults_actually_bite_at_default_scale():
+    """At full preset length the flaky link really loses stanzas and the
+    reliable layer really recovers them (delivered despite drops)."""
+    report = run_scenario("flaky-3g", seed=7)
+    assert report["chaos"]["chaos.dropped"] > 0
+    assert report["pipeline"]["delivered"] > 0
+    assert report["violations"] == []
+
+
+def test_skip_retransmit_bug_is_caught_with_trace_ids(chaos_run):
+    report = chaos_run("flaky-3g", inject_bug="skip-retransmit", minutes=12.0, devices=3)
+    assert report["violation_count"] > 0
+    quiescence = [v for v in report["violations"] if v["invariant"] == "quiescence"]
+    assert quiescence, report["violations"]
+    assert any(v["trace_ids"] for v in quiescence), (
+        "the report must name the stuck envelopes' trace ids"
+    )
+
+
+def test_forget_unacked_bug_is_caught(chaos_run):
+    report = chaos_run("flaky-3g", inject_bug="forget-unacked", minutes=12.0, devices=3)
+    assert report["violation_count"] > 0
+    kinds = {v["invariant"] for v in report["violations"]}
+    assert kinds & {"envelope-conservation", "quiescence"}, report["violations"]
+
+
+def test_unknown_scenario_and_bug_rejected():
+    with pytest.raises(ValueError):
+        run_scenario("no-such-scenario")
+    with pytest.raises(ValueError):
+        run_scenario("flaky-3g", minutes=1.0, devices=1, inject_bug="no-such-bug")

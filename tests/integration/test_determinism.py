@@ -9,6 +9,7 @@ and shared RNG streams.
 import pytest
 
 from repro.apps import localization
+from repro.chaos import report_json, run_scenario
 from repro.core.middleware import PogoSimulation
 from repro.sim import HOUR
 
@@ -62,3 +63,18 @@ def test_freeze_variant_matches_plain_when_uninterrupted():
         return [(c["entry"], c["exit"], c["samples"]) for c in dbscan.closed]
 
     assert clusters(False) == clusters(True)
+
+
+def test_chaos_scenario_replays_byte_identically():
+    """Same scenario + seed → byte-identical invariant report.  This is
+    the property that makes a failing chaos run shippable as two small
+    numbers (scenario, seed) instead of a flake."""
+    first = report_json(run_scenario("mixed", seed=42, minutes=8.0, devices=2))
+    second = report_json(run_scenario("mixed", seed=42, minutes=8.0, devices=2))
+    assert first == second
+
+
+def test_chaos_reports_differ_across_seeds():
+    a = run_scenario("flaky-3g", seed=1, minutes=6.0, devices=2)
+    b = run_scenario("flaky-3g", seed=2, minutes=6.0, devices=2)
+    assert a["chaos"] != b["chaos"]
