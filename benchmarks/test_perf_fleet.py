@@ -1,0 +1,70 @@
+"""Performance: fleet scaling — 5, 50 and 500 devices for one hour.
+
+The ROADMAP's fleet-scale goal is that the simulator remains usable as
+the fleet grows by two orders of magnitude: event throughput should stay
+roughly flat (per-event cost is what the kernel optimisations bought),
+and a 500-device simulated hour must complete comfortably within a CI
+budget (< 60 s), or the deployment-scale studies become untouchable.
+
+Rows are measured with :func:`repro.bench.run_fleet`, the same harness
+behind ``python -m repro bench``, in the production configuration
+(spans/metrics off).  Event counts per fleet size are deterministic and
+double as a regression check: an "optimisation" that perturbs the
+simulation would move them.
+
+``REPRO_BENCH_FLEETS`` (comma-separated) overrides the fleet sizes.
+"""
+
+import os
+
+import pytest
+
+from repro.bench import BENCH_SEED, run_fleet
+from repro.sim.kernel import HOUR
+
+FLEETS = [
+    int(part)
+    for part in os.environ.get("REPRO_BENCH_FLEETS", "5,50,500").split(",")
+    if part
+]
+
+
+def test_perf_fleet_scaling(report):
+    sim_s = 1 * HOUR / 1000.0
+    rows = []
+    for devices in FLEETS:
+        rows.append(run_fleet(devices, seed=BENCH_SEED, repeats=3 if devices <= 50 else 1))
+
+    lines = [
+        "Fleet scaling — 1 simulated hour of the Table 3 workload, "
+        "production config (spans/metrics off)",
+        "",
+        f"  {'devices':>8} {'events':>10} {'wall (s)':>10} {'events/s':>12} {'speedup':>12}",
+    ]
+    for row in rows:
+        lines.append(
+            f"  {row['devices']:>8} {row['events']:>10,} {row['wall_s']:>10.3f} "
+            f"{row['events_per_s']:>12,.0f} {row['speedup']:>11,.0f}x"
+        )
+    report("perf_fleet", "\n".join(lines))
+
+    by_devices = {row["devices"]: row for row in rows}
+
+    # Work scales with the fleet: events grow roughly linearly (each
+    # device runs the same sensing script), never sublinearly.
+    for small, large in zip(FLEETS, FLEETS[1:]):
+        growth = large / small
+        assert by_devices[large]["events"] > by_devices[small]["events"] * growth * 0.8
+
+    # The CI budget: a 500-device simulated hour in well under a minute.
+    # (Takes ~4-5 s on a 2024 laptop; the bound leaves >10x headroom.)
+    largest = max(FLEETS)
+    assert by_devices[largest]["wall_s"] < 60.0
+
+    # Throughput must not collapse with scale — per-event cost at the
+    # largest fleet stays within 4x of the smallest fleet's.
+    smallest = min(FLEETS)
+    assert (
+        by_devices[largest]["events_per_s"]
+        > by_devices[smallest]["events_per_s"] / 4.0
+    )

@@ -6,7 +6,23 @@ that the Table 4 deployment (≈200 device-days) completes in minutes.
 It measures wall-clock time to simulate one hour of the Table 3 workload
 for a small fleet, and reports simulated-vs-wall speedup and kernel
 event throughput.
+
+Two configurations are reported:
+
+* **instrumented** — the default ``PogoSimulation`` (lifecycle spans and
+  the metrics plane on), timed by pytest-benchmark; comparable with the
+  historical numbers in ``benchmarks/out/perf_simulator.txt``.
+* **production** — ``spans=False, metrics=False``: both observability
+  planes swapped to their no-op fast lanes, which is the configuration
+  the fleet-scale runs (and ``python -m repro bench``) use.  Reported as
+  best-of-N wall time, the robust estimator on noisy CI boxes.
+
+``REPRO_BENCH_FLEET`` overrides the fleet size (default 5) so the same
+file can probe larger fleets without editing code.
 """
+
+import os
+import time
 
 import pytest
 
@@ -14,11 +30,11 @@ from repro.apps import battery_monitor
 from repro.core.middleware import PogoSimulation
 from repro.sim.kernel import HOUR
 
-FLEET = 5
+FLEET = int(os.environ.get("REPRO_BENCH_FLEET", "5"))
 
 
-def simulate_fleet_hour():
-    sim = PogoSimulation(seed=9)
+def simulate_fleet_hour(spans=True, metrics=True):
+    sim = PogoSimulation(seed=9, spans=spans, metrics=metrics)
     collector = sim.add_collector("alice")
     devices = [sim.add_device(with_email_app=True) for _ in range(FLEET)]
     sim.start()
@@ -33,18 +49,40 @@ def test_perf_fleet_hour(benchmark, report):
     wall_s = benchmark.stats["mean"]
     sim_s = 1 * HOUR / 1000.0
     events = sim.kernel.events_executed
+
+    # Production shape: no-op span/metric fast lanes, best of 3.
+    prod_walls = []
+    for _ in range(3):
+        t0 = time.perf_counter()
+        prod_sim = simulate_fleet_hour(spans=False, metrics=False)
+        prod_walls.append(time.perf_counter() - t0)
+    prod_s = min(prod_walls)
+    prod_events = prod_sim.kernel.events_executed
+
     lines = [
         "Simulator throughput — 1 simulated hour, "
         f"{FLEET} devices + 1 collector (Table 3 workload)",
         "",
+        "instrumented (spans + metrics on, pytest-benchmark mean):",
         f"  kernel events executed : {events:,}",
         f"  wall time (mean)       : {wall_s*1000:.0f} ms",
         f"  simulated/wall speedup : {sim_s / wall_s:,.0f}x",
         f"  event throughput       : {events / wall_s:,.0f} events/s",
+        "",
+        "production (spans=False metrics=False, best of 3):",
+        f"  kernel events executed : {prod_events:,}",
+        f"  wall time (best)       : {prod_s*1000:.0f} ms",
+        f"  simulated/wall speedup : {sim_s / prod_s:,.0f}x",
+        f"  event throughput       : {prod_events / prod_s:,.0f} events/s",
     ]
     report("perf_simulator", "\n".join(lines))
 
+    # Disabling the observability planes must not change the simulation:
+    # the no-op fast lanes are dispatch shims, not behaviour switches.
+    assert prod_events == events
+
     # The Table 4 study needs ≥ ~3000x real time per device to finish in
-    # minutes; leave generous slack for slow CI machines.
-    assert sim_s / wall_s > 200.0
+    # minutes.  The kernel sustains ~80,000x on a 2024 laptop; 5,000x
+    # still leaves an order of magnitude for slow CI machines.
+    assert sim_s / wall_s > 5_000.0
     assert events > 2_000

@@ -17,6 +17,8 @@ trace            message lifecycle tracing: per-hop latency, span tree,
                  per-message energy attribution (supports --json/--export)
 chaos            deterministic fault injection + invariant verdict
                  (scenario presets, --report JSON, --inject-bug canary)
+bench            fleet-scaling kernel benchmark; emits the canonical
+                 BENCH_kernel.json artifact (machine-comparable)
 
 Every command accepts ``--seed`` and prints a deterministic report.
 """
@@ -99,6 +101,22 @@ def _build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--inject-bug", choices=list(_chaos.BUGS), default=None,
                        help="deliberately break the middleware to prove the "
                             "monitor catches it")
+
+    bench = sub.add_parser(
+        "bench", help="fleet-scaling kernel benchmark -> BENCH_kernel.json"
+    )
+    bench.add_argument("--fleets", default="5,50,500",
+                       help="comma-separated fleet sizes (default 5,50,500)")
+    bench.add_argument("--hours", type=float, default=1.0,
+                       help="simulated hours per run")
+    bench.add_argument("--repeats", type=int, default=3,
+                       help="runs per fleet size; best-of is reported "
+                            "(fleets > 50 devices always run once)")
+    bench.add_argument("--out", metavar="PATH", default="BENCH_kernel.json",
+                       help="artifact path (default BENCH_kernel.json; "
+                            "empty string to skip writing)")
+    bench.add_argument("--json", action="store_true",
+                       help="print the canonical JSON artifact instead of text")
 
     return parser
 
@@ -470,6 +488,12 @@ def cmd_chaos(args) -> int:
     return 1 if report["violation_count"] else 0
 
 
+def cmd_bench(args) -> int:
+    from . import bench as _bench
+
+    return _bench.main(args)
+
+
 _COMMANDS = {
     "quickstart": cmd_quickstart,
     "localization": cmd_localization,
@@ -482,6 +506,7 @@ _COMMANDS = {
     "metrics": cmd_metrics,
     "trace": cmd_trace,
     "chaos": cmd_chaos,
+    "bench": cmd_bench,
 }
 
 

@@ -22,6 +22,7 @@ scheduler so that script handlers are serialized and watchdogged.
 from __future__ import annotations
 
 import itertools
+import sys
 from typing import Any, Callable, Dict, List, Optional
 
 from .envelope import Envelope
@@ -110,6 +111,12 @@ class Broker:
         self.name = name
         self._sub_ids = itertools.count(1)
         self._subscriptions: Dict[str, List[Subscription]] = {}
+        #: Subscription index: interned topic -> the pre-filtered list of
+        #: active subscriptions, built lazily on publish and invalidated
+        #: (entry dropped) on any subscription change for that channel.
+        #: Publish cost is therefore independent of how many released or
+        #: foreign-channel subscriptions the broker carries.
+        self._active_index: Dict[str, List[Subscription]] = {}
         self._channel_watchers: Dict[str, List[SubscriptionListener]] = {}
         self._global_watchers: List[SubscriptionListener] = []
         self._deliver = deliver or (lambda subscription, message: subscription.handler(message))
@@ -140,6 +147,10 @@ class Broker:
         """Create an active subscription on ``channel``."""
         if not channel or not isinstance(channel, str):
             raise ValueError(f"invalid channel name: {channel!r}")
+        # Interning gives every equal topic string one identity, so the
+        # per-publish index lookup takes the dict's pointer-comparison
+        # fast path instead of hashing/comparing characters.
+        channel = sys.intern(channel)
         if parameters is not None:
             validate_message(parameters)
         subscription = Subscription(self, channel, handler, parameters, owner)
@@ -184,8 +195,15 @@ class Broker:
         self.publish_count += 1
         if self._m_publishes is not None:
             self._m_publishes.inc()
+        subs = self._active_index.get(channel)
+        if subs is None:
+            subs = self._active_subs(channel)
         delivered = 0
-        for subscription in list(self._subscriptions.get(channel, [])):
+        # The index entry is replaced (never mutated) on invalidation, so
+        # iterating it has snapshot semantics; the per-subscription active
+        # check preserves the old behaviour for handlers that release a
+        # later subscription mid-fanout.
+        for subscription in subs:
             if not subscription.active:
                 continue
             subscription.delivery_count += 1
@@ -214,12 +232,22 @@ class Broker:
     # ------------------------------------------------------------------
     # Introspection (what sensors use to duty-cycle)
     # ------------------------------------------------------------------
+    def _active_subs(self, channel: str) -> List[Subscription]:
+        """The index entry for ``channel``, built on first use."""
+        subs = self._active_index.get(channel)
+        if subs is None:
+            subs = self._active_index[sys.intern(channel)] = [
+                s for s in self._subscriptions.get(channel, ()) if s.active
+            ]
+        return subs
+
     def subscriptions(self, channel: str, active_only: bool = True) -> List[Subscription]:
-        subs = self._subscriptions.get(channel, [])
-        return [s for s in subs if s.active] if active_only else list(subs)
+        if active_only:
+            return list(self._active_subs(channel))
+        return list(self._subscriptions.get(channel, []))
 
     def has_subscribers(self, channel: str) -> bool:
-        return any(s.active for s in self._subscriptions.get(channel, []))
+        return bool(self._active_subs(channel))
 
     def channels(self) -> List[str]:
         return sorted(self._subscriptions)
@@ -243,6 +271,10 @@ class Broker:
             self._global_watchers.remove(listener)
 
     def _notify(self, channel: str, subscription: Subscription, change: str) -> None:
+        # Every change kind (add/release/renew/remove) can alter the
+        # active set, so drop the channel's index entry before listeners
+        # run — a listener may publish and rebuild it immediately.
+        self._active_index.pop(channel, None)
         for listener in list(self._channel_watchers.get(channel, [])):
             listener(channel, subscription, change)
         for listener in list(self._global_watchers):

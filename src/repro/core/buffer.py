@@ -41,7 +41,7 @@ def traced_envelope(payload: Any):
     from JSON, so after a simulated reboot the envelope identity (and
     with it the trace) is gone — tracing degrades, delivery does not.
     """
-    if type(payload) is dict:
+    if isinstance(payload, dict):
         envelope = payload.get("msg")
         if envelope is not None and getattr(envelope, "trace_id", 0):
             return envelope
@@ -227,9 +227,21 @@ class MessageBuffer:
 
     def peek_batches(self) -> List[Tuple[str, List[BufferedMessage]]]:
         """Pending messages grouped by destination, oldest first."""
-        self.purge_expired()
+        # One walk: split the expired from the pending, then group.  The
+        # separate purge_expired() entry point stays for callers that
+        # only want the purge, but the flush path (this method, called on
+        # every tail-sync poll) should not copy the store twice.
+        messages = self.store.all_messages()
+        if self.max_age_ms is not None:
+            cutoff = self.kernel.now - self.max_age_ms
+            doomed = [m.id for m in messages if m.created_ms < cutoff]
+            if doomed:
+                self.store.remove(doomed)
+                self.expired += len(doomed)
+                self._m_expired.inc(len(doomed))
+                messages = [m for m in messages if m.created_ms >= cutoff]
         by_destination: dict = {}
-        for message in self.store.all_messages():
+        for message in messages:
             by_destination.setdefault(message.destination, []).append(message)
         return sorted(by_destination.items())
 

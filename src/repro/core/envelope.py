@@ -101,7 +101,48 @@ def freeze_message(value: Any, _path: str = "$") -> Any:
     round-trips through JSON.  Already-frozen subtrees (and the payloads
     of other envelopes) are returned as-is: re-wrapping a tagged message
     only pays for the top level.
+
+    The walk carries no location bookkeeping (this runs per publish); on
+    failure the tree is re-walked cold to raise the classic
+    path-annotated error.
     """
+    try:
+        return _freeze_fast(value)
+    except MessageError:
+        _freeze_with_path(value, _path)
+        raise
+
+
+def _freeze_fast(value: Any) -> Any:
+    cls = type(value)
+    if cls is dict:
+        for key in value:
+            if type(key) is not str and not isinstance(key, str):
+                raise MessageError(f"non-string key {key!r}")
+        return FrozenDict((key, _freeze_fast(item)) for key, item in value.items())
+    if cls is FrozenDict or cls is FrozenList:
+        return value
+    if cls in _SCALAR_TYPES:
+        return value
+    if cls is list or cls is tuple:
+        return FrozenList(_freeze_fast(item) for item in value)
+    # Uncommon shapes (subclasses, Envelope) take the general checks.
+    if isinstance(value, Envelope):
+        return value.payload
+    if isinstance(value, SCALARS):
+        return value
+    if isinstance(value, dict):
+        for key in value:
+            if not isinstance(key, str):
+                raise MessageError(f"non-string key {key!r}")
+        return FrozenDict((key, _freeze_fast(item)) for key, item in value.items())
+    if isinstance(value, (list, tuple)):
+        return FrozenList(_freeze_fast(item) for item in value)
+    raise MessageError(f"unsupported type {cls.__name__}")
+
+
+def _freeze_with_path(value: Any, _path: str = "$") -> Any:
+    """The original path-carrying walk; error reporting only."""
     cls = type(value)
     if cls is FrozenDict or cls is FrozenList:
         return value
@@ -114,13 +155,16 @@ def freeze_message(value: Any, _path: str = "$") -> Any:
             if not isinstance(key, str):
                 raise MessageError(f"non-string key {key!r} at {_path}")
         return FrozenDict(
-            (key, freeze_message(item, f"{_path}.{key}")) for key, item in value.items()
+            (key, _freeze_with_path(item, f"{_path}.{key}")) for key, item in value.items()
         )
     if isinstance(value, (list, tuple)):
         return FrozenList(
-            freeze_message(item, f"{_path}[{index}]") for index, item in enumerate(value)
+            _freeze_with_path(item, f"{_path}[{index}]") for index, item in enumerate(value)
         )
     raise MessageError(f"unsupported type {cls.__name__} at {_path}")
+
+
+_SCALAR_TYPES = frozenset((str, int, float, bool, type(None)))
 
 
 def thaw_message(value: Any) -> Any:
@@ -195,15 +239,91 @@ class Envelope:
         return f"<Envelope {self.payload!r}>"
 
 
+class Stanza(dict):
+    """A wire stanza that caches its canonical JSON across hops.
+
+    The same stanza object is serialized several times on its way out —
+    wire-size accounting at the buffer, the transport and the XMPP
+    switch, then the actual send — and, unlike message payloads, stanzas
+    are plain mutable dicts, so the envelope cache cannot help them.
+    Constructing wire ops as ``Stanza`` keeps dict semantics everywhere
+    (consumers index into them unchanged) but lets :func:`canonical_json`
+    and ``message_size_bytes`` answer repeats from the first encoding.
+
+    Any mutation drops the cache (chaos tamper interceptors edit stanzas
+    in flight), so a stale serialization can never leak onto the wire.
+    """
+
+    __slots__ = ("_json", "_size")
+
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
+        super().__init__(*args, **kwargs)
+        self._json: Any = None
+        self._size: Any = None
+
+    def _invalidate(self) -> None:
+        self._json = None
+        self._size = None
+
+    def __setitem__(self, key: Any, item: Any) -> None:
+        self._json = None
+        self._size = None
+        dict.__setitem__(self, key, item)
+
+    def __delitem__(self, key: Any) -> None:
+        self._json = None
+        self._size = None
+        dict.__delitem__(self, key)
+
+    def update(self, *args: Any, **kwargs: Any) -> None:
+        self._invalidate()
+        dict.update(self, *args, **kwargs)
+
+    def pop(self, *args: Any) -> Any:
+        self._invalidate()
+        return dict.pop(self, *args)
+
+    def popitem(self) -> Any:
+        self._invalidate()
+        return dict.popitem(self)
+
+    def clear(self) -> None:
+        self._invalidate()
+        dict.clear(self)
+
+    def setdefault(self, key: Any, default: Any = None) -> Any:
+        self._invalidate()
+        return dict.setdefault(self, key, default)
+
+    @property
+    def json(self) -> str:
+        """Canonical wire JSON, cached until the next mutation."""
+        text = self._json
+        if text is None:
+            text = self._json = _splice(self)
+        return text
+
+    @property
+    def wire_size(self) -> int:
+        """UTF-8 byte count of :attr:`json`, cached with it."""
+        size = self._size
+        if size is None:
+            size = self._size = len(self.json.encode("utf-8"))
+        return size
+
+
 def canonical_json(value: Any) -> str:
     """Canonical JSON of a message or stanza, reusing cached envelope text.
 
-    Fast paths, in order: a bare envelope returns its cached string; a
-    stanza with envelope values (the reliable-link wrapper, checked with
-    a shallow scan) goes straight to the splicing encoder; everything
-    else takes the C encoder in one pass.  The splicing path only ever
-    hand-encodes the small wrapper — the payload text is cached.
+    Fast paths, in order: a bare envelope (or a :class:`Stanza`) returns
+    its cached string; a stanza with envelope values (the reliable-link
+    wrapper, checked with a shallow scan) goes straight to the splicing
+    encoder; everything else takes the C encoder in one pass.  The
+    splicing path only ever hand-encodes the small wrapper — the payload
+    text is cached.
     """
+    if isinstance(value, Stanza):
+        return value.json
     if isinstance(value, Envelope):
         return value.json
     if type(value) is dict:
@@ -251,8 +371,19 @@ def _encode_into(value: Any, parts: List[str]) -> None:
     if cls is Envelope:
         parts.append(value.json)
         return
+    if cls is Stanza:
+        text = value._json
+        if text is not None:
+            parts.append(text)
+            return
+        # Cache cold: encode as a dict below (the json property caches
+        # the result of this very walk).
     if isinstance(value, dict):
-        parts.append("{")
+        # The container loops dispatch common leaves inline (exact type
+        # checks, so bool never masquerades as int) — one recursive call
+        # per *container*, not per node.
+        append = parts.append
+        append("{")
         first = True
         for key in sorted(value):
             if not isinstance(key, str):
@@ -260,19 +391,41 @@ def _encode_into(value: Any, parts: List[str]) -> None:
             if first:
                 first = False
             else:
-                parts.append(",")
-            parts.append(_escape_str(key))
-            parts.append(":")
-            _encode_into(value[key], parts)
-        parts.append("}")
+                append(",")
+            append(_escape_str(key))
+            append(":")
+            item = value[key]
+            icls = type(item)
+            if icls is str:
+                append(_escape_str(item))
+            elif icls is int:
+                append(repr(item))
+            elif icls is Envelope:
+                append(item.json)
+            elif item is None:
+                append("null")
+            elif icls is bool:
+                append("true" if item else "false")
+            else:
+                _encode_into(item, parts)
+        append("}")
         return
     if isinstance(value, (list, tuple)):
-        parts.append("[")
+        append = parts.append
+        append("[")
         for index, item in enumerate(value):
             if index:
-                parts.append(",")
-            _encode_into(item, parts)
-        parts.append("]")
+                append(",")
+            icls = type(item)
+            if icls is Stanza and item._json is not None:
+                append(item._json)
+            elif icls is Envelope:
+                append(item.json)
+            elif icls is str:
+                append(_escape_str(item))
+            else:
+                _encode_into(item, parts)
+        append("]")
         return
     if isinstance(value, float):
         # Mirror json.dumps: shortest repr, named non-finite constants.

@@ -30,6 +30,7 @@ from .envelope import (
     FrozenDict,
     FrozenList,
     MessageError,
+    Stanza,
     canonical_json,
 )
 
@@ -99,6 +100,8 @@ def message_size_bytes(value: Any) -> int:
     tracker therefore costs one serialization total, not four.
     """
     if isinstance(value, Envelope):
+        return value.wire_size
+    if isinstance(value, Stanza):
         return value.wire_size
     return len(to_json(value).encode("utf-8"))
 

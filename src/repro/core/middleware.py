@@ -73,11 +73,15 @@ class PogoSimulation:
         carrier: CarrierProfile = KPN,
         record_trace: bool = False,
         spans: bool = True,
+        metrics: bool = True,
     ) -> None:
         self.kernel = Kernel()
         if not spans:
             # Kill switch: lifecycle tracing off, hop handles become no-ops.
             self.kernel.spans.disable()
+        if not metrics:
+            # Production-shape hot path: counters/histograms become no-ops.
+            self.kernel.metrics.disable()
         self.streams = RandomStreams(seed)
         self.trace = TraceRecorder(lambda: self.kernel.now) if record_trace else None
         self.server = XmppServer(self.kernel, trace=self.trace)

@@ -36,7 +36,7 @@ from .deployment import (
     teardown_op,
     undeploy_op,
 )
-from .envelope import Envelope
+from .envelope import Envelope, FrozenDict
 from .scripting import ScriptHost
 
 
@@ -47,35 +47,54 @@ class DeviceLink:
         self.device_jid = device_jid
         #: device-side subscription id -> {"channel", "params", "active"}
         self.remote_subs: Dict[int, dict] = {}
+        #: channel -> number of active subscriptions, kept in lockstep
+        #: with ``remote_subs`` so interest checks are O(1) instead of a
+        #: scan of the whole synchronized table per publish.
+        self._active_count: Dict[str, int] = {}
 
     def interested_in(self, channel: str) -> bool:
-        return any(
-            entry["channel"] == channel and entry["active"]
-            for entry in self.remote_subs.values()
-        )
+        return self._active_count.get(channel, 0) > 0
+
+    def _count_active(self, channel: str, delta: int) -> None:
+        count = self._active_count.get(channel, 0) + delta
+        if count > 0:
+            self._active_count[channel] = count
+        else:
+            self._active_count.pop(channel, None)
 
     def apply_sub_op(self, payload: dict) -> None:
         op = payload["op"]
         sub_id = int(payload["sub"])
         if op == OP_SUB_ADD:
+            previous = self.remote_subs.get(sub_id)
+            if previous is not None and previous["active"]:
+                self._count_active(previous["channel"], -1)
             self.remote_subs[sub_id] = {
                 "channel": payload["channel"],
                 "params": payload.get("params") or {},
                 "active": True,
             }
+            self._count_active(payload["channel"], +1)
         elif op == OP_SUB_RELEASE:
-            if sub_id in self.remote_subs:
-                self.remote_subs[sub_id]["active"] = False
+            entry = self.remote_subs.get(sub_id)
+            if entry is not None and entry["active"]:
+                entry["active"] = False
+                self._count_active(entry["channel"], -1)
         elif op == OP_SUB_RENEW:
-            if sub_id in self.remote_subs:
-                self.remote_subs[sub_id]["active"] = True
+            entry = self.remote_subs.get(sub_id)
+            if entry is not None and not entry["active"]:
+                entry["active"] = True
+                self._count_active(entry["channel"], +1)
         elif op == OP_SUB_REMOVE:
-            self.remote_subs.pop(sub_id, None)
+            entry = self.remote_subs.pop(sub_id, None)
+            if entry is not None and entry["active"]:
+                self._count_active(entry["channel"], -1)
         else:
             raise ValueError(f"not a subscription op: {op!r}")
 
     def reset(self) -> None:
         self.remote_subs.clear()
+        self._active_count.clear()
 
 
 class CollectorContext:
@@ -210,11 +229,13 @@ class CollectorContext:
             )
         payload = envelope.payload
         if isinstance(payload, dict):
-            # Tag with the originating device.  Re-wrapping is cheap: the
-            # children are already frozen, so only the top level is walked.
+            # Tag with the originating device.  The envelope's payload
+            # values are already frozen (the construction invariant), so
+            # the tagged view is a direct FrozenDict — no re-validation
+            # walk over the top level.
             tagged = dict(payload)
             tagged["_device"] = device_jid
-            payload = Envelope.wrap(tagged).payload
+            payload = FrozenDict(tagged)
         delivered = 0
         for sub in list(self.broker.subscriptions(channel)):
             if sub.owner == LINK_OWNER:

@@ -251,14 +251,18 @@ class SimpleScheduler:
             return task
 
         def fire() -> None:
+            # The kernel has already re-armed the handle (in place, no
+            # per-tick allocation) by the time this runs; a task that was
+            # cancelled or whose scheduler stopped tears the chain down.
             if task.cancelled or self.stopped:
+                handle.cancel()
                 return
             task.fired = True
-            task._alarm = _HandleAlarm(self.kernel.schedule(interval_ms, fire))
             self.submit(fn, *args, serial_key=serial_key)
 
         first = interval_ms if initial_delay_ms is None else initial_delay_ms
-        task._alarm = _HandleAlarm(self.kernel.schedule(first, fire))
+        handle = self.kernel.schedule_repeating(interval_ms, fire, initial_delay=first)
+        task._alarm = _HandleAlarm(handle)
         return task
 
     def stop(self) -> None:

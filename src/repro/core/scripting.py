@@ -15,8 +15,9 @@ implements the host around a running script:
 * **Watchdog** — "all calls to JavaScript functions by the framework must
   complete within a certain timeframe.  If the JavaScript function does
   not return in time, it is interrupted and an exception is thrown.  The
-  default timeout is set to 100ms."  Implemented with a tracing hook that
-  aborts the script frame when its wall-clock budget is exceeded.
+  default timeout is set to 100ms."  Implemented with an asynchronous
+  interrupt raised into the script's thread when its wall-clock budget
+  is exceeded (see :class:`_WatchdogArbiter`).
 * **freeze/thaw** — one persisted object per script, surviving script
   stop/start cycles, updates and reboots (Section 4.4; added *because* of
   the data loss observed in Section 5.3).
@@ -24,8 +25,10 @@ implements the host around a running script:
 
 from __future__ import annotations
 
+import ctypes
+import itertools
 import json
-import sys
+import threading
 import time
 from typing import Any, Callable, Dict, List, Optional
 
@@ -49,67 +52,130 @@ class ScriptTimeoutError(ScriptError):
 WatchdogTimeout = ScriptTimeoutError
 
 
+class _WatchdogArbiter:
+    """One daemon thread that interrupts over-budget guarded calls.
+
+    The previous watchdog used ``sys.settrace``, which forces the whole
+    guarded subtree — broker fan-out, envelope freezing, storage writes —
+    to run with per-call trace hooks installed: an ~8 µs tax on *every*
+    script invocation to police a budget that healthy scripts never come
+    near.  Arming here is two dict operations; nothing else touches the
+    hot path.  When a deadline actually expires, the arbiter raises
+    :class:`ScriptTimeoutError` inside the guarded thread via
+    ``PyThreadState_SetAsyncExc`` — which, like Rhino's instruction-count
+    interrupts, stops a ``while True: pass`` loop dead.
+
+    The async raise lands at the guarded thread's next bytecode boundary,
+    so a call that finishes in the same instant its budget expires can
+    race the interrupt.  ``disarm`` closes the gap: it reports whether
+    this guard was fired so the caller can clear a still-pending
+    interrupt and convert it into a deterministic post-hoc error.
+    """
+
+    #: Idle poll interval; also bounds how late an interrupt can be.
+    POLL_S = 0.05
+
+    def __init__(self) -> None:
+        #: thread id -> stack of (deadline, generation, watchdog); plain
+        #: dict/list ops are GIL-atomic, so arm/disarm take no lock.
+        self._armed: Dict[int, List[tuple]] = {}
+        self._fired: Dict[int, int] = {}
+        self._gen = itertools.count(1)
+        self._thread: Optional[threading.Thread] = None
+
+    def arm(self, watchdog: "Watchdog", timeout_s: float) -> tuple:
+        tid = threading.get_ident()
+        gen = next(self._gen)
+        stack = self._armed.get(tid)
+        if stack is None:
+            stack = self._armed[tid] = []
+        stack.append((time.monotonic() + timeout_s, gen, watchdog))
+        if self._thread is None:
+            self._start()
+        return tid, gen
+
+    def disarm(self, token: tuple) -> bool:
+        """Remove the guard; returns True if it was fired (interrupted)."""
+        tid, gen = token
+        stack = self._armed.get(tid)
+        if stack:
+            for index in range(len(stack) - 1, -1, -1):
+                if stack[index][1] == gen:
+                    del stack[index]
+                    break
+            if not stack:
+                self._armed.pop(tid, None)
+        if self._fired.get(tid) == gen:
+            del self._fired[tid]
+            return True
+        return False
+
+    def _start(self) -> None:
+        thread = threading.Thread(
+            target=self._run, name="script-watchdog", daemon=True
+        )
+        self._thread = thread
+        thread.start()
+
+    def _run(self) -> None:
+        set_async_exc = ctypes.pythonapi.PyThreadState_SetAsyncExc
+        while True:
+            wait = self.POLL_S
+            now = time.monotonic()
+            for tid, stack in list(self._armed.items()):
+                for entry in list(stack):
+                    deadline, gen, watchdog = entry
+                    if now < deadline:
+                        wait = min(wait, deadline - now)
+                        continue
+                    if self._fired.get(tid) is not None:
+                        continue  # one pending interrupt per thread
+                    self._fired[tid] = gen
+                    watchdog.violations += 1
+                    set_async_exc(
+                        ctypes.c_ulong(tid), ctypes.py_object(ScriptTimeoutError)
+                    )
+                    try:
+                        stack.remove(entry)
+                    except ValueError:
+                        pass
+            time.sleep(max(wait, 0.001))
+
+
+_arbiter = _WatchdogArbiter()
+
+
 class Watchdog:
     """Interrupts script code that runs past its budget.
 
-    Uses ``sys.settrace``: while a guarded call is on the stack, every
-    line event checks the deadline and raises
-    :class:`ScriptTimeoutError` from inside the script frame, which is
-    the closest Python analogue to Rhino's instruction-count interrupts.
-    If a tracer is already installed (debugger, coverage), the watchdog
-    degrades to post-hoc detection: the call completes but the violation
-    is still reported.
+    The budget is wall-clock, as in the paper ("all calls to JavaScript
+    functions by the framework must complete within a certain
+    timeframe").  Enforcement lives in the process-wide
+    :class:`_WatchdogArbiter`; a guard costs two dict operations on the
+    hot path and nothing more.
     """
 
     def __init__(self, timeout_ms: float = DEFAULT_WATCHDOG_MS) -> None:
         self.timeout_ms = timeout_ms
         self.violations = 0
 
-    #: Frames deeper than this below the guarded call get no per-line
-    #: checks (only per-call checks).  Keeps hot helper code at native
-    #: speed while still interrupting loops in handler-level code.
-    LINE_TRACE_DEPTH = 2
-
     def guard(self, fn: Callable[..., Any], *args: Any) -> Any:
-        timeout_s = self.timeout_ms / 1000.0
-        deadline = time.perf_counter() + timeout_s
-        preemptive = sys.gettrace() is None
-        root_frame = sys._getframe()
-
-        def over_budget() -> None:
-            self.violations += 1
-            raise ScriptTimeoutError(
-                f"script call exceeded {self.timeout_ms:.0f} ms watchdog budget"
-            )
-
-        def line_tracer(frame, event, arg):
-            if event == "line" and time.perf_counter() > deadline:
-                over_budget()
-            return line_tracer
-
-        def tracer(frame, event, arg):
-            # Global tracer: receives only 'call' events.  Every function
-            # call checks the deadline; line-level checks apply only near
-            # the top of the script's stack (hot leaf helpers run
-            # untraced, at full speed).
-            if time.perf_counter() > deadline:
-                over_budget()
-            depth, walker = 0, frame.f_back
-            while walker is not None and walker is not root_frame and depth <= self.LINE_TRACE_DEPTH:
-                walker = walker.f_back
-                depth += 1
-            return line_tracer if depth < self.LINE_TRACE_DEPTH else None
-
-        if preemptive:
-            sys.settrace(tracer)
-        started = time.perf_counter()
+        token = _arbiter.arm(self, self.timeout_ms / 1000.0)
+        fired = False
         try:
             result = fn(*args)
         finally:
-            if preemptive:
-                sys.settrace(None)
-        if not preemptive and time.perf_counter() - started > timeout_s:
-            self.violations += 1
+            fired = _arbiter.disarm(token)
+            if fired:
+                # Either the interrupt already unwound ``fn`` (we are
+                # propagating it right now and the clear is a no-op), or
+                # ``fn`` returned in the race window and the raise is
+                # still pending — clear it before it lands in unrelated
+                # code.
+                ctypes.pythonapi.PyThreadState_SetAsyncExc(
+                    ctypes.c_ulong(token[0]), None
+                )
+        if fired:
             raise ScriptTimeoutError(
                 f"script call exceeded {self.timeout_ms:.0f} ms watchdog budget (post-hoc)"
             )

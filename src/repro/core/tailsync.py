@@ -59,7 +59,14 @@ class TailDetector:
             self._timer = None
 
     def _arm(self) -> None:
-        self._timer = self.phone.cpu.sleep_frozen_timer(self.poll_interval_ms, self._poll)
+        timer = self._timer
+        if timer is not None and timer.fired and not timer.cancelled:
+            # Re-run the same timer (and its kernel handle) instead of
+            # allocating a new one per poll — the detector polls once a
+            # second for the entire simulation.
+            timer.restart(self.poll_interval_ms)
+        else:
+            self._timer = self.phone.cpu.sleep_frozen_timer(self.poll_interval_ms, self._poll)
 
     def _poll(self) -> None:
         if not self.running:

@@ -54,14 +54,20 @@ class Alarm:
         self.fire_count = 0
 
     def _arm(self, delay: float) -> None:
-        self._handle = self._cpu._kernel.schedule(delay, self._fire)
+        handle = self._handle
+        if handle is not None and handle.fired and not handle.cancelled:
+            # Recycle the fired handle's storage instead of allocating a
+            # fresh event per tick; the sequence number is consumed at
+            # the same point, so same-instant FIFO order is unchanged.
+            self._cpu._kernel.rearm(handle, delay)
+        else:
+            self._handle = self._cpu._kernel.schedule(delay, self._fire)
 
     def _fire(self) -> None:
         if self.cancelled:
             return
         self.fire_count += 1
-        self._cpu.wake("alarm")
-        self._cpu.note_activity()
+        self._cpu.wake("alarm")  # wake() also records the activity
         if self._interval is not None and not self.cancelled:
             self._arm(self._interval)
         self._callback(*self._args)
@@ -97,12 +103,33 @@ class SleepFrozenTimer:
         if cpu.awake:
             self._resume()
 
+    def restart(self, duration_ms: float) -> None:
+        """Re-run a *fired* timer for another ``duration_ms``.
+
+        Polling loops (the tail detector) re-run the same timer once a
+        second for the whole simulation; restarting recycles the timer
+        object and its kernel handle instead of allocating both per poll.
+        """
+        if duration_ms < 0:
+            raise ValueError("timer duration must be non-negative")
+        if self.cancelled or not self.fired:
+            raise ValueError("restart() requires a timer that has fired")
+        self.fired = False
+        self.remaining_ms = duration_ms
+        self._cpu._frozen_timers.add(self)
+        if self._cpu.awake:
+            self._resume()
+
     # -- called by the Cpu on state changes ----------------------------
     def _resume(self) -> None:
         if self.cancelled or self.fired:
             return
         self._resumed_at = self._cpu._kernel.now
-        self._handle = self._cpu._kernel.schedule(self.remaining_ms, self._fire)
+        handle = self._handle
+        if handle is not None and handle.fired and not handle.cancelled:
+            self._cpu._kernel.rearm(handle, self.remaining_ms)
+        else:
+            self._handle = self._cpu._kernel.schedule(self.remaining_ms, self._fire)
 
     def _pause(self) -> None:
         if self.cancelled or self.fired or self._handle is None:
@@ -211,20 +238,26 @@ class Cpu:
     def note_activity(self) -> None:
         """Record CPU activity; postpones sleep by ``awake_hold_ms``."""
         self._last_activity = self._kernel.now
-        if self._sleep_check is None or not self._sleep_check.pending:
-            self._sleep_check = self._kernel.schedule(
-                self.config.awake_hold_ms, self._maybe_sleep
-            )
+        check = self._sleep_check
+        if check is not None:
+            if not (check.fired or check.cancelled):
+                return
+            if check.fired and not check.cancelled:
+                # The sleep-check handle is the CPU's permanent timer
+                # slot: recycle it instead of allocating one per wakeup.
+                self._kernel.rearm(check, self.config.awake_hold_ms)
+                return
+        self._sleep_check = self._kernel.schedule(
+            self.config.awake_hold_ms, self._maybe_sleep
+        )
 
     def _maybe_sleep(self) -> None:
-        self._sleep_check = None
+        check = self._sleep_check  # the handle that just fired
         if not self.awake:
             return
         if self._wake_locks:
             # Re-check when the hold would expire after the lock is gone.
-            self._sleep_check = self._kernel.schedule(
-                self.config.awake_hold_ms, self._maybe_sleep
-            )
+            self._kernel.rearm(check, self.config.awake_hold_ms)
             return
         idle_for = self._kernel.now - self._last_activity
         # Millisecond tolerance and a floor on the re-arm delay: at large
@@ -233,8 +266,8 @@ class Cpu:
         # by it would freeze simulated time (an infinite same-instant
         # loop).  Nothing in the model cares about sub-ms sleep timing.
         if idle_for + 1.0 < self.config.awake_hold_ms:
-            self._sleep_check = self._kernel.schedule(
-                max(self.config.awake_hold_ms - idle_for, 1.0), self._maybe_sleep
+            self._kernel.rearm(
+                check, max(self.config.awake_hold_ms - idle_for, 1.0)
             )
             return
         self._sleep_now()

@@ -34,6 +34,7 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..sim.kernel import Kernel, MINUTE
+from ..core.envelope import Stanza
 
 
 class LinkObserver:
@@ -129,13 +130,13 @@ class ReliableLink:
         if self.observer is not None:
             # The piggybacked cumulative ack is an ack emission too.
             self.observer.on_ack_emitted(self, self._expected - 1)
-        return {
-            "kind": "env",
-            "seq": seq,
-            "base": self._base_seq,
-            "ack": self._expected - 1,
-            "payload": self._unacked[seq],
-        }
+        return Stanza(
+            kind="env",
+            seq=seq,
+            base=self._base_seq,
+            ack=self._expected - 1,
+            payload=self._unacked[seq],
+        )
 
     def resend_unacked(self, max_age_ms: Optional[float] = None) -> int:
         """Retransmit unacked envelopes (on reconnect / resend timer).
@@ -240,7 +241,7 @@ class ReliableLink:
         self._ack_dirty = False
         if self.observer is not None:
             self.observer.on_ack_emitted(self, self._expected - 1)
-        return {"kind": "ack", "ack": self._expected - 1}
+        return Stanza(kind="ack", ack=self._expected - 1)
 
     def current_ack(self) -> int:
         return self._expected - 1

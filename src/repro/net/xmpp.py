@@ -30,6 +30,7 @@ from typing import Any, Callable, Deque, Dict, List, Optional, Set, Tuple
 
 from ..sim.kernel import Kernel, SECOND
 from ..sim.trace import TraceRecorder
+from ..core.envelope import Stanza, _escape_str
 from ..core.messages import message_size_bytes
 
 
@@ -233,8 +234,23 @@ class XmppServer:
         if to_jid not in self._rosters.get(from_jid, set()):
             raise RoutingError(f"{from_jid} and {to_jid} are not associated")
         self.note_heard_from(from_jid)
-        stamped = dict(stanza)
-        stamped["_from"] = from_jid
+        # A Stanza copy keeps dict semantics but caches its canonical
+        # JSON, so the switch and every delivery attempt of this stamped
+        # stanza serialize it once total.  When the sender's transport
+        # already serialized the unstamped stanza (sizing it for the
+        # radio), the stamped text is derived by string surgery instead
+        # of a re-walk: "_from" (0x5F) sorts before every all-lowercase
+        # key, so it is always the first field of the canonical form.
+        stamped = Stanza(stanza)
+        dict.__setitem__(stamped, "_from", from_jid)
+        cached = stanza._json if type(stanza) is Stanza else None
+        if cached is not None and stanza:
+            try:
+                splice = min(stanza) > "_from"
+            except TypeError:
+                splice = False
+            if splice:
+                stamped._json = '{"_from":%s,%s' % (_escape_str(from_jid), cached[1:])
         route_ctx = (self.kernel.now, parent_span) if self._spans.enabled else None
         interceptor = self.interceptor
         if interceptor is None:

@@ -79,25 +79,73 @@ class Histogram:
         return list(zip(labels, self.bucket_counts))
 
 
+class NullCounter(Counter):
+    """Disabled counter: ``inc`` is a bare return.
+
+    ``MetricsRegistry.disable()`` retargets every live counter to this
+    class (identical slot layout, so ``__class__`` assignment is legal)
+    rather than inserting a flag branch into every increment — the
+    pre-bound counter objects components hold stay valid, and the
+    disabled hot path pays one no-op method dispatch.
+    """
+
+    __slots__ = ()
+
+    def inc(self, amount: int = 1) -> None:
+        return None
+
+
+class NullHistogram(Histogram):
+    """Disabled histogram: ``observe`` is a bare return."""
+
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        return None
+
+
 class MetricsRegistry:
     """Create-or-get registry of counters, histograms and gauges."""
 
-    def __init__(self) -> None:
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
         self._counters: Dict[str, Counter] = {}
         self._histograms: Dict[str, Histogram] = {}
         self._gauges: Dict[str, Callable[[], float]] = {}
 
     # ------------------------------------------------------------------
+    def disable(self) -> None:
+        """Kill switch: every counter/histogram becomes a true no-op.
+
+        Values accumulated so far stay readable (snapshots report the
+        frozen state); only further increments are dropped.
+        """
+        self.enabled = False
+        for counter in self._counters.values():
+            counter.__class__ = NullCounter
+        for histogram in self._histograms.values():
+            histogram.__class__ = NullHistogram
+
+    def enable(self) -> None:
+        self.enabled = True
+        for counter in self._counters.values():
+            counter.__class__ = Counter
+        for histogram in self._histograms.values():
+            histogram.__class__ = Histogram
+
+    # ------------------------------------------------------------------
     def counter(self, name: str) -> Counter:
         counter = self._counters.get(name)
         if counter is None:
-            counter = self._counters[name] = Counter(name)
+            cls = Counter if self.enabled else NullCounter
+            counter = self._counters[name] = cls(name)
         return counter
 
     def histogram(self, name: str, bounds: Sequence[float] = DEFAULT_BUCKETS) -> Histogram:
         histogram = self._histograms.get(name)
         if histogram is None:
-            histogram = self._histograms[name] = Histogram(name, bounds)
+            cls = Histogram if self.enabled else NullHistogram
+            histogram = self._histograms[name] = cls(name, bounds)
         return histogram
 
     def gauge(self, name: str, fn: Callable[[], float]) -> None:

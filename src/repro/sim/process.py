@@ -15,7 +15,7 @@ kernel event.  This is the moral equivalent of the paper's thread pool
 
 from __future__ import annotations
 
-from typing import Any, Callable, Generator, List, Optional
+from typing import Any, Callable, Dict, Generator, List, Optional
 
 from .kernel import EventHandle, Kernel, SimulationError
 
@@ -27,29 +27,47 @@ class Signal:
 
     ``fire(payload)`` wakes every current waiter exactly once; waiters that
     arrive afterwards wait for the next firing.
+
+    Implementation: waiters live in an insertion-ordered dict keyed by
+    callback (registration and removal are both O(1) — the old list did
+    an O(n) scan per ``remove_waiter``), stamped with the signal's
+    current *epoch*.  ``fire`` advances the epoch, detaches the whole
+    waiter set and wakes it with **one** kernel event that calls the
+    batch in FIFO registration order — scheduling cost per firing is
+    O(1) instead of one heap push per waiter, and waiters registered by
+    a callback in the batch belong to the new epoch, so they wait for
+    the next firing exactly as before.  A callback registered twice in
+    one epoch wakes once per firing.
     """
 
     def __init__(self, kernel: Kernel, name: str = "") -> None:
         self._kernel = kernel
         self.name = name
-        self._waiters: List[Callable[[Any], None]] = []
+        #: callback -> epoch it registered in (dict preserves FIFO order).
+        self._waiters: Dict[Callable[[Any], None], int] = {}
         self.fire_count = 0
+        self.epoch = 0
 
     def wait(self, callback: Callable[[Any], None]) -> None:
         """Register a one-shot callback for the next firing."""
-        self._waiters.append(callback)
+        self._waiters[callback] = self.epoch
 
     def remove_waiter(self, callback: Callable[[Any], None]) -> None:
-        if callback in self._waiters:
-            self._waiters.remove(callback)
+        self._waiters.pop(callback, None)
 
     def fire(self, payload: Any = None) -> int:
-        """Wake all waiters (as separate kernel events).  Returns count."""
-        waiters, self._waiters = self._waiters, []
+        """Wake all current waiters in one kernel event.  Returns count."""
+        waiters = self._waiters
+        self._waiters = {}
+        self.epoch += 1
         self.fire_count += 1
-        for waiter in waiters:
-            self._kernel.schedule(0.0, waiter, payload)
+        if waiters:
+            self._kernel.schedule(0.0, self._wake_batch, list(waiters), payload)
         return len(waiters)
+
+    def _wake_batch(self, callbacks: List[Callable[[Any], None]], payload: Any) -> None:
+        for callback in callbacks:
+            callback(payload)
 
     @property
     def waiter_count(self) -> int:

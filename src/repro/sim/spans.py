@@ -154,6 +154,29 @@ class HopHandle:
         return span_id
 
 
+class NullHopHandle(HopHandle):
+    """The disabled hop handle: ``record`` is a bare ``return 0``.
+
+    ``disable()`` retargets every live handle to this class (the slot
+    layout is identical, so ``__class__`` assignment is legal), which
+    makes the disabled path a single method dispatch — no attribute
+    chain, no flag branch — without invalidating the handles components
+    pre-bound at construction.  ``enable()`` swaps them back.
+    """
+
+    __slots__ = ()
+
+    def record(
+        self,
+        trace_id: int,
+        parent_id: int,
+        start_ms: float,
+        end_ms: float,
+        attrs: Optional[Dict[str, Any]] = None,
+    ) -> int:
+        return 0
+
+
 class SpanRecorder:
     """Bounded ring of causally-linked spans plus per-hop histograms.
 
@@ -189,11 +212,15 @@ class SpanRecorder:
     # Configuration
     # ------------------------------------------------------------------
     def disable(self) -> None:
-        """Kill switch: hop handles become near-free no-ops."""
+        """Kill switch: every hop handle becomes a true no-op."""
         self.enabled = False
+        for handle in self._hops.values():
+            handle.__class__ = NullHopHandle
 
     def enable(self) -> None:
         self.enabled = True
+        for handle in self._hops.values():
+            handle.__class__ = HopHandle
 
     @property
     def dropped(self) -> int:
@@ -213,7 +240,8 @@ class SpanRecorder:
         handle = self._hops.get(name)
         if handle is None:
             histogram = Histogram(f"hop.{name}", LATENCY_BUCKETS_MS)
-            handle = self._hops[name] = HopHandle(self, name, histogram)
+            cls = HopHandle if self.enabled else NullHopHandle
+            handle = self._hops[name] = cls(self, name, histogram)
         return handle
 
     def tag(self, envelope) -> int:

@@ -1,0 +1,68 @@
+"""Golden-master determinism: seeded artifacts are byte-identical.
+
+The kernel hot-path work (native repeating timers, tombstone compaction,
+the subscription index, cached stanza serialization, no-op span/metric
+lanes) is only admissible if it is *behaviour-preserving*: for a fixed
+seed, the chaos reports and the trace export must not move by a single
+byte.  The files in ``tests/golden/`` were captured before the
+optimisations landed; these tests regenerate them in-process and compare
+bytes.
+
+When a legitimate behaviour change lands (a new invariant, a protocol
+fix), regenerate the goldens explicitly and say so in the commit::
+
+    python -m repro --seed 7 chaos --scenario flaky-3g --report \
+        tests/golden/chaos_flaky3g_seed7.json
+    python -m repro --seed 7 chaos --scenario reorder-storm --report \
+        tests/golden/chaos_reorder_seed7.json
+    python -m repro --seed 7 trace --devices 3 --hours 0.5 --export \
+        tests/golden/trace_seed7_d3_h05.jsonl
+"""
+
+import pathlib
+
+import pytest
+
+from repro import chaos as _chaos
+
+GOLDEN = pathlib.Path(__file__).parent.parent / "golden"
+
+
+@pytest.mark.parametrize(
+    "scenario, filename",
+    [
+        ("flaky-3g", "chaos_flaky3g_seed7.json"),
+        ("reorder-storm", "chaos_reorder_seed7.json"),
+    ],
+)
+def test_chaos_report_matches_golden_master(scenario, filename):
+    report = _chaos.run_scenario(scenario, seed=7)
+    produced = _chaos.report_json(report).encode("utf-8")
+    expected = (GOLDEN / filename).read_bytes()
+    assert produced == expected, (
+        f"chaos report for {scenario!r} (seed 7) diverged from the golden "
+        f"master {filename} — a kernel/broker/transport change altered "
+        "behaviour, not just speed"
+    )
+
+
+def test_trace_export_matches_golden_master(tmp_path):
+    from repro.analysis.export import spans_to_jsonl
+    from repro.apps import battery_monitor
+    from repro.core.middleware import PogoSimulation
+
+    sim = PogoSimulation(seed=7)
+    collector = sim.add_collector("cli")
+    devices = [sim.add_device(with_email_app=True) for _ in range(3)]
+    sim.start()
+    sim.assign(collector, devices)
+    collector.node.deploy(battery_monitor.build_experiment(), [d.jid for d in devices])
+    sim.run(hours=0.5)
+
+    out = tmp_path / "spans.jsonl"
+    spans_to_jsonl(sim.kernel.spans, str(out))
+    expected = (GOLDEN / "trace_seed7_d3_h05.jsonl").read_bytes()
+    assert out.read_bytes() == expected, (
+        "trace JSONL export (seed 7, 3 devices, 0.5 h) diverged from the "
+        "golden master — the optimized hot path changed observable events"
+    )

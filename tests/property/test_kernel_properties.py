@@ -1,0 +1,219 @@
+"""Property-based tests for the kernel's optimized event queue.
+
+The kernel's hot-path machinery — tuple heap, lazy tombstones with
+threshold compaction, native in-place re-arming repeating timers — must
+be *observationally identical* to the naive implementation it replaced:
+a plain sorted queue where repeating timers are closures that re-schedule
+themselves and cancellation removes the entry eagerly.  These tests run
+random schedules against both and demand the same firing log, then pin
+the three properties the optimisations are most likely to break:
+same-instant FIFO order, cancellation exactness, and drift-free
+repeating deadlines.
+"""
+
+import heapq
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.sim.kernel as kernel_mod
+from repro.sim.kernel import Kernel
+
+
+class NaiveKernel:
+    """The reference model: correct by obviousness, fast by accident.
+
+    * repeating timers are closures that re-schedule themselves with a
+      fresh entry (consuming a sequence number immediately before the
+      callback runs, like the optimized in-place re-arm);
+    * cancellation removes the entry from the queue eagerly (rebuild and
+      re-heapify — no tombstones, no counters);
+    * no compaction, no live-event bookkeeping.
+    """
+
+    def __init__(self):
+        self.now = 0.0
+        self._queue = []
+        self._seq = itertools.count()
+        self.log = []
+
+    def schedule(self, delay, callback):
+        entry = [self.now + delay, next(self._seq), callback, False]
+        heapq.heappush(self._queue, entry)
+        return entry
+
+    def schedule_repeating(self, interval, callback, initial_delay=None):
+        first = interval if initial_delay is None else initial_delay
+        entry_box = {}
+
+        def tick():
+            # Re-schedule before the callback, like the kernel re-arms.
+            nxt = [entry_box["e"][0] + interval, next(self._seq), tick, False]
+            entry_box["e"] = nxt
+            heapq.heappush(self._queue, nxt)
+            callback()
+
+        entry = [self.now + first, next(self._seq), tick, False]
+        entry_box["e"] = entry
+        heapq.heappush(self._queue, entry)
+        return entry_box
+
+    def cancel(self, entry):
+        if isinstance(entry, dict):  # repeating handle
+            entry = entry["e"]
+        entry[3] = True
+        self._queue = [e for e in self._queue if not e[3]]
+        heapq.heapify(self._queue)
+
+    def run_until(self, horizon):
+        while self._queue and self._queue[0][0] <= horizon:
+            time, _, callback, cancelled = heapq.heappop(self._queue)
+            assert not cancelled  # eager removal: never in the queue
+            self.now = time
+            callback()
+        self.now = max(self.now, horizon)
+
+
+#: One instruction for both kernels.  Times are multiples of 0.5 ms from
+#: a small pool so same-instant collisions are common (the FIFO case).
+def _delay():
+    return st.integers(min_value=0, max_value=20).map(lambda n: n * 0.5)
+
+
+instructions = st.lists(
+    st.one_of(
+        st.tuples(st.just("once"), _delay()),
+        st.tuples(st.just("repeat"), _delay().filter(lambda d: d > 0)),
+        # Cancel the k-th created timer at a given instant (via a
+        # scheduled event, so mid-run tombstones accumulate).
+        st.tuples(st.just("cancel"), _delay(), st.integers(0, 30)),
+    ),
+    max_size=30,
+)
+
+
+@given(instructions, st.integers(1, 4))
+@settings(max_examples=150, deadline=None)
+def test_optimized_kernel_matches_naive_reference(program, threshold):
+    """Same program -> byte-identical firing logs, at any compaction
+    threshold (including pathological ones that compact constantly)."""
+    original = kernel_mod.COMPACT_MIN_TOMBSTONES
+    kernel_mod.COMPACT_MIN_TOMBSTONES = threshold
+    try:
+        fast = Kernel()
+        naive = NaiveKernel()
+        fast_log, naive_log = [], []
+        fast_handles, naive_handles = [], []
+
+        for index, op in enumerate(program):
+            if op[0] == "once":
+                _, delay = op
+                fast_handles.append(
+                    fast.schedule(delay, lambda i=index: fast_log.append((fast.now, i)))
+                )
+                naive_handles.append(
+                    naive.schedule(delay, lambda i=index: naive_log.append((naive.now, i)))
+                )
+            elif op[0] == "repeat":
+                _, interval = op
+                fast_handles.append(
+                    fast.schedule_repeating(
+                        interval, lambda i=index: fast_log.append((fast.now, i))
+                    )
+                )
+                naive_handles.append(
+                    naive.schedule_repeating(
+                        interval, lambda i=index: naive_log.append((naive.now, i))
+                    )
+                )
+            else:
+                _, delay, target = op
+                fast_handles.append(
+                    fast.schedule(
+                        delay,
+                        lambda t=target: fast_handles[t % len(fast_handles)].cancel(),
+                    )
+                )
+                naive_handles.append(
+                    naive.schedule(
+                        delay,
+                        lambda t=target: naive.cancel(naive_handles[t % len(naive_handles)]),
+                    )
+                )
+
+        # Both lists grow in lockstep (one entry per instruction), so the
+        # cancel lambdas target the same index space on each side.
+        assert len(fast_handles) == len(naive_handles)
+
+        fast.run_until(30.0)
+        naive.run_until(30.0)
+        assert fast_log == naive_log
+    finally:
+        kernel_mod.COMPACT_MIN_TOMBSTONES = original
+
+
+@given(st.lists(st.integers(0, 5), min_size=1, max_size=40))
+@settings(max_examples=150, deadline=None)
+def test_same_instant_events_fire_in_scheduling_order(delays):
+    """All events at one instant fire in the order they were scheduled,
+    regardless of how many other instants interleave."""
+    kernel = Kernel()
+    log = []
+    for index, delay in enumerate(delays):
+        kernel.schedule(float(delay), lambda i=index: log.append(i))
+    kernel.run()
+    expected = [i for _, i in sorted((delays[i], i) for i in range(len(delays)))]
+    assert log == expected
+
+
+@given(
+    st.lists(st.integers(0, 100), min_size=1, max_size=40, unique=True),
+    st.sets(st.integers(0, 39)),
+)
+@settings(max_examples=150, deadline=None)
+def test_cancellation_is_exact(delays, cancel_indices):
+    """Cancelled events never fire, everything else always fires, and the
+    live/tombstone books balance before and after compaction."""
+    original = kernel_mod.COMPACT_MIN_TOMBSTONES
+    kernel_mod.COMPACT_MIN_TOMBSTONES = 2
+    try:
+        kernel = Kernel()
+        fired = []
+        handles = [
+            kernel.schedule(float(delay), lambda i=index: fired.append(i))
+            for index, delay in enumerate(delays)
+        ]
+        doomed = {i for i in cancel_indices if i < len(handles)}
+        for index in doomed:
+            assert handles[index].cancel() is True
+        assert kernel.pending_events == len(handles) - len(doomed)
+        kernel.run()
+        assert sorted(fired) == sorted(set(range(len(handles))) - doomed)
+        assert kernel.pending_events == 0
+    finally:
+        kernel_mod.COMPACT_MIN_TOMBSTONES = original
+
+
+@given(
+    st.floats(min_value=0.1, max_value=1000.0, allow_nan=False),
+    st.integers(1, 50),
+)
+@settings(max_examples=150, deadline=None)
+def test_repeating_timers_are_drift_free(interval, ticks):
+    """The k-th fire lands exactly at the accumulated deadline
+    ``t_{k} = t_{k-1} + interval`` — re-arming never reads ``now`` and
+    never loses or gains a floating-point ulp versus the reference chain."""
+    kernel = Kernel()
+    times = []
+    handle = kernel.schedule_repeating(interval, lambda: times.append(kernel.now))
+    kernel.run(max_events=ticks)
+    expected, deadline = [], 0.0
+    for _ in range(ticks):
+        deadline = deadline + interval
+        expected.append(deadline)
+    assert times == expected
+    assert handle.pending  # still armed for the next tick
+    handle.cancel()
+    kernel.run()
+    assert times == expected  # cancellation stopped the chain

@@ -150,3 +150,170 @@ def test_events_executed_counter():
         kernel.schedule(1.0, lambda: None)
     kernel.run()
     assert kernel.events_executed == 7
+
+
+# ---------------------------------------------------------------------------
+# Repeating timers (native, re-armed in place)
+# ---------------------------------------------------------------------------
+
+
+def test_schedule_repeating_fires_every_interval():
+    kernel = Kernel()
+    times = []
+    kernel.schedule_repeating(10.0, lambda: times.append(kernel.now))
+    kernel.run_until(45.0)
+    assert times == [10.0, 20.0, 30.0, 40.0]
+
+
+def test_schedule_repeating_initial_delay():
+    kernel = Kernel()
+    times = []
+    kernel.schedule_repeating(10.0, lambda: times.append(kernel.now), initial_delay=3.0)
+    kernel.run_until(25.0)
+    assert times == [3.0, 13.0, 23.0]
+
+
+def test_schedule_repeating_reuses_one_handle():
+    kernel = Kernel()
+    ticks = []
+    handle = kernel.schedule_repeating(5.0, lambda: ticks.append(kernel.now))
+    kernel.run_until(20.0)
+    assert len(ticks) == 4
+    # The same handle is still armed for the next tick — no fresh
+    # allocation per fire.
+    assert handle.pending
+    assert handle.time == 25.0
+
+
+def test_schedule_repeating_cancel_stops_the_chain():
+    kernel = Kernel()
+    ticks = []
+    handle = kernel.schedule_repeating(5.0, lambda: ticks.append(kernel.now))
+    kernel.run_until(12.0)
+    assert handle.cancel() is True
+    kernel.run_until(100.0)
+    assert ticks == [5.0, 10.0]
+
+
+def test_schedule_repeating_rejects_bad_interval():
+    kernel = Kernel()
+    with pytest.raises(SimulationError):
+        kernel.schedule_repeating(0.0, lambda: None)
+    with pytest.raises(SimulationError):
+        kernel.schedule_repeating(-1.0, lambda: None)
+    with pytest.raises(SimulationError):
+        kernel.schedule_repeating(5.0, lambda: None, initial_delay=-1.0)
+
+
+def test_repeating_callback_may_cancel_its_own_handle():
+    kernel = Kernel()
+    ticks = []
+    handle = None
+
+    def tick():
+        ticks.append(kernel.now)
+        if len(ticks) == 3:
+            handle.cancel()
+
+    handle = kernel.schedule_repeating(5.0, tick)
+    kernel.run()
+    assert ticks == [5.0, 10.0, 15.0]
+    assert kernel.pending_events == 0
+
+
+# ---------------------------------------------------------------------------
+# rearm (handle recycling)
+# ---------------------------------------------------------------------------
+
+
+def test_rearm_recycles_a_fired_handle():
+    kernel = Kernel()
+    fired = []
+    handle = kernel.schedule(5.0, lambda: fired.append(kernel.now))
+    kernel.run()
+    assert fired == [5.0]
+    same = kernel.rearm(handle, 7.0)
+    assert same is handle
+    assert handle.pending
+    kernel.run()
+    assert fired == [5.0, 12.0]
+
+
+def test_rearm_rejects_pending_and_cancelled_handles():
+    kernel = Kernel()
+    pending = kernel.schedule(5.0, lambda: None)
+    with pytest.raises(SimulationError):
+        kernel.rearm(pending, 1.0)
+    pending.cancel()
+    with pytest.raises(SimulationError):
+        kernel.rearm(pending, 1.0)
+    fired = kernel.schedule(1.0, lambda: None)
+    kernel.run()
+    with pytest.raises(SimulationError):
+        kernel.rearm(fired, -1.0)
+
+
+def test_rearm_preserves_fifo_with_fresh_schedules():
+    kernel = Kernel()
+    log = []
+    handle = kernel.schedule(1.0, lambda: log.append("recycled"))
+    kernel.run()
+    log.clear()
+    # Re-armed handle scheduled first for t=5, fresh handle second for
+    # t=5: scheduling order decides.
+    kernel.rearm(handle, 5.0)
+    kernel.schedule(5.0, lambda: log.append("fresh"))
+    kernel.run()
+    assert log == ["recycled", "fresh"]
+
+
+# ---------------------------------------------------------------------------
+# Tombstones and compaction
+# ---------------------------------------------------------------------------
+
+
+def test_cancel_leaves_tombstone_until_threshold(monkeypatch):
+    import repro.sim.kernel as kernel_mod
+
+    monkeypatch.setattr(kernel_mod, "COMPACT_MIN_TOMBSTONES", 4)
+    kernel = Kernel()
+    handles = [kernel.schedule(float(i + 100), lambda: None) for i in range(10)]
+    for handle in handles[:3]:
+        handle.cancel()
+    # Below threshold: tombstones sit in the heap.
+    assert kernel._tombstones == 3
+    assert len(kernel._queue) == 10
+    assert kernel.compactions == 0
+    # Live count is maintained without scanning.
+    assert kernel.pending_events == 7
+
+
+def test_compaction_triggers_and_preserves_order(monkeypatch):
+    import repro.sim.kernel as kernel_mod
+
+    monkeypatch.setattr(kernel_mod, "COMPACT_MIN_TOMBSTONES", 4)
+    kernel = Kernel()
+    log = []
+    handles = [kernel.schedule(float(i), lambda i=i: log.append(i)) for i in range(12)]
+    # Compaction requires tombstones >= the floor (4) AND tombstones >
+    # live, first true at the 7th cancel (7 tombstones > 5 live).
+    for i in range(7):
+        handles[i].cancel()
+    assert kernel.compactions == 1
+    assert kernel._tombstones == 0
+    assert len(kernel._queue) == kernel.pending_events == 5
+    # A cancel after compaction starts a fresh tombstone count.
+    handles[7].cancel()
+    assert kernel._tombstones == 1
+    assert kernel.pending_events == 4
+    kernel.run()
+    assert log == [8, 9, 10, 11]
+
+
+def test_next_event_time_skips_tombstones():
+    kernel = Kernel()
+    first = kernel.schedule(1.0, lambda: None)
+    kernel.schedule(2.0, lambda: None)
+    first.cancel()
+    assert kernel.next_event_time() == 2.0
+    assert kernel.pending_events == 1

@@ -103,3 +103,50 @@ def test_record_snapshot_writes_one_trace_event():
     assert event is not None
     assert event.time == 1234.0
     assert event.data["broker.publishes"] == 5
+
+
+def test_disable_swaps_counters_to_noops():
+    from repro.sim.metrics import Counter, MetricsRegistry, NullCounter
+
+    registry = MetricsRegistry()
+    counter = registry.counter("pre.bound")
+    counter.inc(5)
+    registry.disable()
+    # The pre-bound object components hold becomes the no-op class.
+    assert type(counter) is NullCounter
+    counter.inc(100)
+    assert counter.value == 5  # frozen, still readable
+    # Metrics created while disabled are born as no-ops.
+    late = registry.counter("late")
+    late.inc()
+    assert late.value == 0
+    registry.enable()
+    assert type(counter) is Counter
+    counter.inc()
+    assert counter.value == 6
+
+
+def test_disable_swaps_histograms_to_noops():
+    from repro.sim.metrics import Histogram, MetricsRegistry, NullHistogram
+
+    registry = MetricsRegistry()
+    histogram = registry.histogram("sizes")
+    histogram.observe(10.0)
+    registry.disable()
+    assert type(histogram) is NullHistogram
+    histogram.observe(1e9)
+    assert histogram.count == 1
+    assert histogram.max == 10.0
+    registry.enable()
+    histogram.observe(20.0)
+    assert histogram.count == 2
+
+
+def test_disabled_registry_snapshot_reports_frozen_values():
+    from repro.sim.metrics import MetricsRegistry
+
+    registry = MetricsRegistry()
+    registry.counter("a").inc(3)
+    registry.disable()
+    registry.counter("a").inc(999)
+    assert registry.snapshot()["a"] == 3

@@ -293,3 +293,46 @@ class TestEnergyLedger:
         assert snapshot["total_j"] == pytest.approx(
             snapshot["active_j"] + snapshot["idle_j"]
         )
+
+
+def test_disable_swaps_hop_handles_to_noops():
+    from repro.sim.spans import HopHandle, NullHopHandle, SpanRecorder
+
+    recorder = SpanRecorder(clock=lambda: 0.0)
+    hop = recorder.hop("transport.send")
+    span = hop.record(1, 0, 0.0, 1.0)
+    assert span != 0
+    recorder.disable()
+    # Pre-bound handles become the no-op class: record returns 0 with no
+    # attribute-chain branching.
+    assert type(hop) is NullHopHandle
+    assert hop.record(1, 0, 0.0, 1.0) == 0
+    # Hops created while disabled are born as no-ops.
+    late = recorder.hop("late.hop")
+    assert type(late) is NullHopHandle
+    recorder.enable()
+    assert type(hop) is HopHandle
+    assert type(late) is HopHandle
+    assert hop.record(1, span, 1.0, 2.0) != 0
+
+
+def test_middleware_kill_switches_disable_both_planes():
+    from repro.core.middleware import PogoSimulation
+    from repro.sim.metrics import NullCounter
+    from repro.sim.spans import NullHopHandle
+
+    sim = PogoSimulation(seed=1, spans=False, metrics=False)
+    device = sim.add_device()
+    sim.start()
+    sim.run(minutes=5)
+    assert not sim.kernel.spans.enabled
+    assert not sim.kernel.metrics.enabled
+    assert sim.kernel.spans.recorded == 0
+    # Every pre-bound counter and hop handle is the no-op class.
+    assert all(
+        type(c) is NullCounter for c in sim.kernel.metrics._counters.values()
+    )
+    assert all(
+        type(h) is NullHopHandle for h in sim.kernel.spans._hops.values()
+    )
+    assert device.phone.energy_joules > 0  # the simulation itself ran
