@@ -34,6 +34,7 @@ paper-vs-measured record of every table and figure.
 
 from .core.deployment import Experiment
 from .core.middleware import PogoSimulation, SimulatedCollector, SimulatedDevice
+from .core.shard import DeviceSpec, Shard, ShardSpec, SimContext
 from .core.node import CollectorNode, DeviceNode
 from .core.broker import Broker, Subscription
 from .core.tailsync import (
@@ -51,6 +52,10 @@ __version__ = "1.0.0"
 __all__ = [
     "Experiment",
     "PogoSimulation",
+    "Shard",
+    "ShardSpec",
+    "DeviceSpec",
+    "SimContext",
     "SimulatedCollector",
     "SimulatedDevice",
     "CollectorNode",

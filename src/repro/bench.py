@@ -227,9 +227,55 @@ def render_report(report: Dict[str, Any]) -> str:
     return "\n".join(lines)
 
 
+def parse_fleets(value: Any, source: str = "--fleets") -> List[int]:
+    """Parse a comma-separated fleet-size list, rejecting junk loudly.
+
+    ``source`` names where the value came from (flag or env var) so the
+    error tells the user which knob to fix.
+    """
+    fleets: List[int] = []
+    for part in str(value).split(","):
+        part = part.strip()
+        if not part:
+            continue
+        try:
+            size = int(part)
+        except ValueError:
+            raise ValueError(
+                f"{source}: {part!r} is not an integer fleet size"
+            ) from None
+        if size <= 0:
+            raise ValueError(f"{source}: fleet sizes must be positive, got {size}")
+        fleets.append(size)
+    if not fleets:
+        raise ValueError(f"{source}: no fleet sizes found in {value!r}")
+    return fleets
+
+
+def resolve_fleets(flag_value: Optional[str], env=None) -> List[int]:
+    """Fleet sizes from ``--fleets``, else the env vars, else the default.
+
+    ``REPRO_BENCH_FLEETS`` (list) is consulted before the older singular
+    ``REPRO_BENCH_FLEET``.  Malformed values raise instead of being
+    silently ignored.
+    """
+    if flag_value is not None:
+        return parse_fleets(flag_value, "--fleets")
+    environ = os.environ if env is None else env
+    for var in ("REPRO_BENCH_FLEETS", "REPRO_BENCH_FLEET"):
+        raw = environ.get(var)
+        if raw is not None and raw.strip():
+            return parse_fleets(raw, var)
+    return list(DEFAULT_FLEETS)
+
+
 def main(args) -> int:
     """``python -m repro bench`` entry point (wired in cli.py)."""
-    fleets = [int(part) for part in str(args.fleets).split(",") if part]
+    try:
+        fleets = resolve_fleets(args.fleets)
+    except ValueError as exc:
+        print(f"bench: {exc}", file=sys.stderr)
+        return 2
     report = run_benchmark(
         fleets=fleets,
         hours=args.hours,

@@ -78,10 +78,13 @@ class ChaosEngine:
     def _do_restart(self) -> None:
         self.sim.server.restart()
         self._m_restarts.inc()
-        for collector in self.sim.collectors.values():
-            collector.node.transport.notice_connection_lost()
-        for device in self.sim.devices.values():
-            device.node.transport.notice_connection_lost()
+        # Sorted JIDs: the notification order must not depend on dict
+        # insertion order, or a merged/restored shard reconnects its
+        # fleet in a different sequence than the original run.
+        for jid in sorted(self.sim.collectors):
+            self.sim.collectors[jid].node.transport.notice_connection_lost()
+        for jid in sorted(self.sim.devices):
+            self.sim.devices[jid].node.transport.notice_connection_lost()
 
     # ------------------------------------------------------------------
     # Device churn
@@ -142,8 +145,8 @@ class ChaosEngine:
         is exactly what the monitor's liveness invariants judge.
         """
         self.interceptor.heal()
-        for device in self.sim.devices.values():
-            phone = device.phone
+        for jid in sorted(self.sim.devices):
+            phone = self.sim.devices[jid].phone
             phone.set_data_enabled(True)
             phone.set_cell_coverage(True)
             phone.suppress_wifi_association(False)
@@ -155,13 +158,15 @@ class ChaosEngine:
         connected; collectors retransmit their unacked envelopes without
         waiting for their five-minute timer.
         """
-        for device in self.sim.devices.values():
-            node = device.node
+        for jid in sorted(self.sim.devices):
+            node = self.sim.devices[jid].node
             if node.started and node.transport.connected:
                 node.flush("chaos-settle")
-        for collector in self.sim.collectors.values():
-            for link in collector.node.links.values():
+        for jid in sorted(self.sim.collectors):
+            node = self.sim.collectors[jid].node
+            for peer in sorted(node.links):
+                link = node.links[peer]
                 link.resend_unacked()
                 ack = link.make_ack()
                 if ack is not None:
-                    collector.node._raw_send(link.peer, ack)
+                    node._raw_send(link.peer, ack)

@@ -34,6 +34,7 @@ failing chaos run points at the exact message that broke the contract.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Any, Dict, List, Optional, Set, Tuple
 
 from ..core.middleware import PogoSimulation
@@ -210,15 +211,13 @@ class InvariantMonitor:
     # Wiring
     # ------------------------------------------------------------------
     def _attach(self) -> None:
-        nodes = [(c.jid, c.node) for c in self.sim.collectors.values()]
-        nodes += [(d.jid, d.node) for d in self.sim.devices.values()]
+        nodes = [(jid, self.sim.collectors[jid].node) for jid in sorted(self.sim.collectors)]
+        nodes += [(jid, self.sim.devices[jid].node) for jid in sorted(self.sim.devices)]
         for jid, node in nodes:
             node.scheduler.observer = _SchedulerWitness(self, node.scheduler.name)
             for link in node.links.values():
                 self._attach_link(jid, link)
-            node.on_link_created.append(
-                lambda link, owner=jid: self._attach_link(owner, link)
-            )
+            node.on_link_created.append(partial(self._attach_link, jid))
         self.kernel.schedule(self.check_interval_ms, self._periodic)
 
     def _attach_link(self, owner: str, link: ReliableLink) -> None:

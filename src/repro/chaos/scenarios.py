@@ -41,6 +41,43 @@ _CHAOS_COUNTERS = (
 BUGS = ("skip-retransmit", "forget-unacked")
 
 
+class _NoResend:
+    """Injected bug: a ``resend_unacked`` that never retransmits.
+
+    A module-level callable (not a lambda) so a shard snapshot taken
+    mid-campaign with the bug armed still pickles.
+    """
+
+    def __call__(self, max_age_ms=None) -> int:
+        return 0
+
+
+class _InstallNoResend:
+    """on_link_created listener installing :class:`_NoResend`."""
+
+    def __call__(self, link) -> None:
+        link.resend_unacked = _NoResend()
+
+
+class _ForgetUnacked:
+    """Injected bug: drop the victim's lowest unacked envelope."""
+
+    __slots__ = ("node",)
+
+    def __init__(self, node) -> None:
+        self.node = node
+
+    def __call__(self) -> None:
+        victim = self.node
+        for peer in sorted(victim.links):
+            link = victim.links[peer]
+            if link._unacked:
+                seq = min(link._unacked)
+                del link._unacked[seq]
+                link._sent_at.pop(seq, None)
+                return
+
+
 @dataclass(frozen=True)
 class Scenario:
     name: str
@@ -135,23 +172,13 @@ def _inject_bug(
         # The classic silent-loss bug: the device never retransmits, so
         # any dropped envelope stays unacked forever.  Caught by the
         # quiescence invariant, with the stuck envelopes' trace ids.
-        victim.on_link_created.append(
-            lambda link: setattr(link, "resend_unacked", lambda max_age_ms=None: 0)
-        )
+        victim.on_link_created.append(_InstallNoResend())
     elif kind == "forget-unacked":
         # Sender-side amnesia: periodically drop the lowest unacked
         # envelope without abandoning it (no base advance), so a lost
         # copy is unrecoverable and unaccounted.  Caught by the
         # envelope-conservation / quiescence invariants.
-        def forget() -> None:
-            for peer in sorted(victim.links):
-                link = victim.links[peer]
-                if link._unacked:
-                    seq = min(link._unacked)
-                    del link._unacked[seq]
-                    link._sent_at.pop(seq, None)
-                    return
-
+        forget = _ForgetUnacked(victim)
         step = chaos_ms / 16.0
         for i in range(6, 16):
             sim.kernel.schedule_at(i * step, forget)
@@ -166,8 +193,17 @@ def run_scenario(
     devices: int = 3,
     inject_bug: Optional[str] = None,
     settle_minutes: float = 9.0,
+    snapshot_midpoint: bool = False,
+    artifacts: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
-    """Run one chaos scenario end to end; returns the deterministic report."""
+    """Run one chaos scenario end to end; returns the deterministic report.
+
+    With ``snapshot_midpoint=True`` the shard is pickled and restored
+    halfway through the fault window and the campaign continues on the
+    restored copy.  The report (and span trace) must come out
+    byte-identical either way — the snapshot-determinism regression test
+    pins exactly that.
+    """
     scenario = SCENARIOS.get(name)
     if scenario is None:
         raise ValueError(f"unknown scenario {name!r} (choose from {sorted(SCENARIOS)})")
@@ -183,13 +219,26 @@ def run_scenario(
     # Attach the monitor before any link exists so every ReliableLink
     # gets its witness from birth.
     monitor = InvariantMonitor(sim)
+    # Shard extras travel with a snapshot; a restored campaign re-finds
+    # its engine and monitor here instead of holding stale references.
+    sim.extras["chaos_engine"] = engine
+    sim.extras["invariant_monitor"] = monitor
 
     sim.start()
     sim.assign(collector, fleet)
     collector.node.deploy(battery_monitor.build_experiment(), [d.jid for d in fleet])
 
     scenario.apply(engine, sim, chaos_minutes)
-    sim.run(minutes=chaos_minutes)
+    # Both targets are computed up front so the interrupted and the
+    # uninterrupted paths run to bit-identical deadlines.
+    midpoint = sim.kernel.now + chaos_ms / 2.0
+    horizon = sim.kernel.now + chaos_ms
+    sim.kernel.run_until(midpoint)
+    if snapshot_midpoint:
+        sim = PogoSimulation.restore(sim.snapshot())
+        engine = sim.extras["chaos_engine"]
+        monitor = sim.extras["invariant_monitor"]
+    sim.kernel.run_until(horizon)
 
     # Heal, then drive resends/acks until the pipeline can quiesce.
     engine.settle()
@@ -199,6 +248,10 @@ def run_scenario(
     sim.run(minutes=1)
 
     violations = monitor.finish(expect_quiesced=True)
+    if artifacts is not None:
+        # Out-of-band handles for tests (the final sim, possibly the
+        # restored copy) — never part of the byte-compared report.
+        artifacts["sim"] = sim
     return _build_report(
         scenario, sim, monitor, seed=seed, minutes=chaos_minutes,
         devices=devices, inject_bug=inject_bug,
@@ -221,10 +274,10 @@ def _build_report(
     if context is not None and "collect" in context.scripts:
         readings = len(context.scripts["collect"].namespace.get("readings", ()))
     links = [
-        link
+        sim.devices[jid].node.links[peer]
         for jid in sorted(sim.devices)
-        for link in sim.devices[jid].node.links.values()
-    ] + [link for link in collector.node.links.values()]
+        for peer in sorted(sim.devices[jid].node.links)
+    ] + [collector.node.links[peer] for peer in sorted(collector.node.links)]
     report = {
         "bug": inject_bug or "none",
         "chaos": {name: metrics.counter(name).value for name in _CHAOS_COUNTERS},

@@ -105,8 +105,10 @@ def _build_parser() -> argparse.ArgumentParser:
     bench = sub.add_parser(
         "bench", help="fleet-scaling kernel benchmark -> BENCH_kernel.json"
     )
-    bench.add_argument("--fleets", default="5,50,500",
-                       help="comma-separated fleet sizes (default 5,50,500)")
+    bench.add_argument("--fleets", default=None,
+                       help="comma-separated fleet sizes (default 5,50,500; "
+                            "falls back to $REPRO_BENCH_FLEETS or "
+                            "$REPRO_BENCH_FLEET when the flag is absent)")
     bench.add_argument("--hours", type=float, default=1.0,
                        help="simulated hours per run")
     bench.add_argument("--repeats", type=int, default=3,

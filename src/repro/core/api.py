@@ -50,67 +50,84 @@ SAFE_BUILTINS: Dict[str, Any] = {
 }
 
 
-def build_namespace(host) -> Dict[str, Any]:
-    """Construct the global namespace for one script host.
+class ScriptApi:
+    """The Table 1 methods as bound methods of one per-host instance.
 
-    ``host`` is a :class:`repro.core.scripting.ScriptHost`; every API
-    function closes over it so scripts stay isolated from each other.
+    Closures over ``host`` would work identically, but bound methods of a
+    module-level class are picklable — and a script is free to stash an
+    API function in a data variable, which would then ride along in a
+    Shard snapshot.  Scripts stay isolated from each other because each
+    host gets its own instance.
     """
 
-    def setDescription(description: str) -> None:
-        host.description = str(description)
+    __slots__ = ("host",)
 
-    def setAutoStart(start: bool) -> None:
-        host.autostart = bool(start)
+    def __init__(self, host) -> None:
+        self.host = host
 
-    def _print(*messages: Any) -> None:
-        host.debug_lines.append(" ".join(str(m) for m in messages))
+    def setDescription(self, description: str) -> None:
+        self.host.description = str(description)
 
-    def log(*messages: Any) -> None:
-        logTo("default", *messages)
+    def setAutoStart(self, start: bool) -> None:
+        self.host.autostart = bool(start)
 
-    def logTo(log_name: str, *messages: Any) -> None:
-        host.logs.setdefault(str(log_name), []).append(
+    def print(self, *messages: Any) -> None:
+        self.host.debug_lines.append(" ".join(str(m) for m in messages))
+
+    def log(self, *messages: Any) -> None:
+        self.logTo("default", *messages)
+
+    def logTo(self, log_name: str, *messages: Any) -> None:
+        self.host.logs.setdefault(str(log_name), []).append(
             " ".join(str(m) for m in messages)
         )
 
-    def publish(channel: str, message: Any) -> None:
-        host.api_publish(channel, message)
+    def publish(self, channel: str, message: Any) -> None:
+        self.host.api_publish(channel, message)
 
     def subscribe(
+        self,
         channel: str,
         fn: Callable[[Any], None],
         parameters: Optional[Dict[str, Any]] = None,
     ):
-        return host.api_subscribe(channel, fn, parameters)
+        return self.host.api_subscribe(channel, fn, parameters)
 
-    def freeze(obj: Any) -> None:
-        host.api_freeze(obj)
+    def freeze(self, obj: Any) -> None:
+        self.host.api_freeze(obj)
 
-    def thaw() -> Any:
-        return host.api_thaw()
+    def thaw(self) -> Any:
+        return self.host.api_thaw()
 
-    def json(obj: Any) -> str:
-        return host.api_json(obj)
+    def json(self, obj: Any) -> str:
+        return self.host.api_json(obj)
 
-    def setTimeout(fn: Callable[[], None], delay: float):
-        return host.api_set_timeout(fn, delay)
+    def setTimeout(self, fn: Callable[[], None], delay: float):
+        return self.host.api_set_timeout(fn, delay)
 
+
+def build_namespace(host) -> Dict[str, Any]:
+    """Construct the global namespace for one script host.
+
+    ``host`` is a :class:`repro.core.scripting.ScriptHost`; every API
+    entry is a bound method of that host's :class:`ScriptApi` instance.
+    """
+    api = ScriptApi(host)
     namespace: Dict[str, Any] = {
         "__builtins__": dict(SAFE_BUILTINS),
         "__name__": f"<pogo-script {host.name}>",
         "math": math,
-        "setDescription": setDescription,
-        "setAutoStart": setAutoStart,
-        "print": _print,
-        "log": log,
-        "logTo": logTo,
-        "publish": publish,
-        "subscribe": subscribe,
-        "freeze": freeze,
-        "thaw": thaw,
-        "json": json,
-        "setTimeout": setTimeout,
+        "setDescription": api.setDescription,
+        "setAutoStart": api.setAutoStart,
+        "print": api.print,
+        "log": api.log,
+        "logTo": api.logTo,
+        "publish": api.publish,
+        "subscribe": api.subscribe,
+        "freeze": api.freeze,
+        "thaw": api.thaw,
+        "json": api.json,
+        "setTimeout": api.setTimeout,
     }
     return namespace
 

@@ -98,6 +98,12 @@ class Subscription:
         return f"<Subscription #{self.id} {self.channel!r} {state} params={self.parameters}>"
 
 
+def _default_deliver(subscription: "Subscription", message: Any) -> None:
+    """Default delivery: call the handler directly (picklable, unlike a
+    lambda — brokers live inside the Shard snapshot graph)."""
+    subscription.handler(message)
+
+
 class Broker:
     """A topic broker for one context (or one sensor manager)."""
 
@@ -119,7 +125,7 @@ class Broker:
         self._active_index: Dict[str, List[Subscription]] = {}
         self._channel_watchers: Dict[str, List[SubscriptionListener]] = {}
         self._global_watchers: List[SubscriptionListener] = []
-        self._deliver = deliver or (lambda subscription, message: subscription.handler(message))
+        self._deliver = deliver or _default_deliver
         self.publish_count = 0
         self.delivery_count = 0
         # Pre-bound metric counters (kernel metrics plane); None-guarded so

@@ -13,59 +13,30 @@ This is the public entry point examples and benchmarks use::
 Everything underneath — kernel, XMPP switchboard, testbed admin, phones,
 sensors, worlds — is ordinary library surface and can be composed by hand
 when an experiment needs something unusual (the benchmarks do both).
+
+The actual machinery lives in :mod:`repro.core.shard`: a
+``PogoSimulation`` *is* a single :class:`~repro.core.shard.Shard` with
+the historical constructor.  Code that needs the sharded surface —
+``snapshot()``/``restore()``, the cross-shard egress/ingress seam, epoch
+barriers, declarative ``ShardSpec`` construction — gets it for free on
+every ``PogoSimulation``, or can build :class:`Shard` directly.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
-
-from ..device.apps import EmailApp, EmailConfig
-from ..device.phone import Phone
+from .shard import (  # noqa: F401  (re-exported public surface)
+    DeviceSpec,
+    Shard,
+    ShardSpec,
+    SimContext,
+    SimulatedCollector,
+    SimulatedDevice,
+)
 from ..device.radio import KPN, CarrierProfile
-from ..net.xmpp import XmppServer
-from ..sensors.accelerometer import AccelerometerSensor
-from ..sensors.battery_sensor import BatterySensor
-from ..sensors.location import LocationSensor
-from ..sensors.microphone import MicrophoneSensor, ambient_db_for
-from ..sensors.wifi_scanner import WifiScanSensor
-from ..sim.kernel import HOUR, MINUTE, Kernel
-from ..sim.randomness import RandomStreams
-from ..sim.trace import TraceRecorder
-from ..world.environment import ConnectivityDriver, UserWorld, build_user_world
-from ..world.mobility import TRAVEL, UserProfile
-from .node import CollectorNode, DeviceNode
-from .tailsync import TransmissionPolicy
-from .testbed import TestbedAdmin
 
 
-@dataclass
-class SimulatedDevice:
-    """One enrolled phone with its middleware and (optional) world."""
-
-    jid: str
-    phone: Phone
-    node: DeviceNode
-    user_world: Optional[UserWorld] = None
-    apps: List[object] = field(default_factory=list)
-
-    def email_app(self) -> Optional[EmailApp]:
-        for app in self.apps:
-            if isinstance(app, EmailApp):
-                return app
-        return None
-
-
-@dataclass
-class SimulatedCollector:
-    """One researcher's collector node."""
-
-    jid: str
-    node: CollectorNode
-
-
-class PogoSimulation:
-    """A complete simulated testbed."""
+class PogoSimulation(Shard):
+    """A complete simulated testbed (one shard, historical constructor)."""
 
     def __init__(
         self,
@@ -75,140 +46,11 @@ class PogoSimulation:
         spans: bool = True,
         metrics: bool = True,
     ) -> None:
-        self.kernel = Kernel()
-        if not spans:
-            # Kill switch: lifecycle tracing off, hop handles become no-ops.
-            self.kernel.spans.disable()
-        if not metrics:
-            # Production-shape hot path: counters/histograms become no-ops.
-            self.kernel.metrics.disable()
-        self.streams = RandomStreams(seed)
-        self.trace = TraceRecorder(lambda: self.kernel.now) if record_trace else None
-        self.server = XmppServer(self.kernel, trace=self.trace)
-        self.admin = TestbedAdmin(self.server)
-        self.default_carrier = carrier
-        self.devices: Dict[str, SimulatedDevice] = {}
-        self.collectors: Dict[str, SimulatedCollector] = {}
-        self._started = False
-
-    # ------------------------------------------------------------------
-    # Building the fleet
-    # ------------------------------------------------------------------
-    def add_collector(self, name: str) -> SimulatedCollector:
-        jid = self.admin.enroll_researcher(name)
-        node = CollectorNode(self.kernel, self.server, jid)
-        collector = SimulatedCollector(jid, node)
-        self.collectors[jid] = collector
-        return collector
-
-    def add_device(
-        self,
-        carrier: Optional[CarrierProfile] = None,
-        with_sensors: bool = True,
-        with_email_app: bool = False,
-        email_config: Optional[EmailConfig] = None,
-        user_world: Optional[UserWorld] = None,
-        world_days: Optional[int] = None,
-        user_profile: Optional[UserProfile] = None,
-        propagation=None,
-        policy: Optional[TransmissionPolicy] = None,
-        simulate_paging: bool = False,
-        track_power_history: bool = False,
-        capabilities: Optional[set] = None,
-    ) -> SimulatedDevice:
-        """Enroll one phone, optionally with a generated user world."""
-        jid = self.admin.enroll_device(capabilities or {"wifi", "battery", "location"})
-        phone = Phone(
-            self.kernel,
-            name=jid,
-            profile=carrier or self.default_carrier,
-            trace=self.trace,
-            simulate_paging=simulate_paging,
-            track_power_history=track_power_history,
+        super().__init__(
+            seed=seed,
+            carrier=carrier,
+            record_trace=record_trace,
+            spans=spans,
+            metrics=metrics,
+            shard_id="sim",
         )
-        node = DeviceNode(self.kernel, phone, self.server, jid, policy=policy)
-
-        if user_world is None and world_days is not None:
-            user_world = build_user_world(
-                jid, self.streams, days=world_days, profile=user_profile,
-                propagation=propagation,
-            )
-        device = SimulatedDevice(jid, phone, node, user_world=user_world)
-
-        if with_sensors:
-            self._install_sensors(device)
-        if with_email_app:
-            app = EmailApp(phone, email_config)
-            device.apps.append(app)
-        self.devices[jid] = device
-        return device
-
-    def _install_sensors(self, device: SimulatedDevice) -> None:
-        node, phone = device.node, device.phone
-        node.sensor_manager.register(BatterySensor(phone))
-        wifi_sensor = WifiScanSensor(phone)
-        node.sensor_manager.register(wifi_sensor)
-        location = LocationSensor(phone)
-        accel = AccelerometerSensor(
-            phone, rng=self.streams.stream(f"accel/{device.jid}")
-        )
-        microphone = MicrophoneSensor(
-            phone, rng=self.streams.stream(f"microphone/{device.jid}")
-        )
-        node.sensor_manager.register(location)
-        node.sensor_manager.register(accel)
-        node.sensor_manager.register(microphone)
-        if device.user_world is not None:
-            world = device.user_world
-
-            def ambient_level() -> float:
-                place = world.current_place(self.kernel.now)
-                return ambient_db_for(place.category if place else None)
-
-            phone.wifi.scan_source = lambda: world.scan(self.kernel.now)
-            location.position_source = lambda: world.position(self.kernel.now)
-            microphone.level_source = ambient_level
-            accel.activity_source = lambda: (
-                "walking" if world.segment(self.kernel.now).kind == TRAVEL else "still"
-            )
-
-    # ------------------------------------------------------------------
-    # Wiring and running
-    # ------------------------------------------------------------------
-    def assign(self, collector: SimulatedCollector, devices: List[SimulatedDevice]) -> None:
-        self.admin.assign(collector.jid, [d.jid for d in devices])
-
-    def start(self) -> None:
-        """Start every node, app and connectivity driver."""
-        if self._started:
-            return
-        self._started = True
-        for collector in self.collectors.values():
-            collector.node.start()
-        for device in self.devices.values():
-            if device.user_world is not None:
-                ConnectivityDriver(self.kernel, device.user_world, device.phone).start()
-            device.node.start()
-            for app in device.apps:
-                app.start()
-
-    def run(
-        self,
-        duration_ms: Optional[float] = None,
-        minutes: Optional[float] = None,
-        hours: Optional[float] = None,
-        days: Optional[float] = None,
-    ) -> None:
-        """Advance the simulation by the given amount of time."""
-        total = 0.0
-        if duration_ms is not None:
-            total += duration_ms
-        if minutes is not None:
-            total += minutes * MINUTE
-        if hours is not None:
-            total += hours * HOUR
-        if days is not None:
-            total += days * 24 * HOUR
-        if total <= 0:
-            raise ValueError("specify a positive duration")
-        self.kernel.run_until(self.kernel.now + total)

@@ -15,6 +15,7 @@ contexts (multi brokers), experiment deployment.
 from __future__ import annotations
 
 from collections import Counter
+from functools import partial
 from typing import Any, Dict, List, Optional
 
 from ..net.acks import ReliableLink
@@ -288,12 +289,12 @@ class DeviceNode:
             link = ReliableLink(
                 self.kernel,
                 peer_jid,
-                send_raw=lambda stanza, p=peer_jid: self._raw_send(p, stanza),
-                deliver=lambda payload, p=peer_jid: self._handle_payload(p, payload),
+                send_raw=partial(self._raw_send, peer_jid),
+                deliver=partial(self._handle_payload, peer_jid),
                 # Device acks piggyback on the next flush; incoming data
                 # itself triggers the tail detector, so the flush follows
                 # within about a second of the push.
-                request_ack_send=lambda: None,
+                request_ack_send=None,
             )
             self.links[peer_jid] = link
             for listener in list(self.on_link_created):
@@ -442,9 +443,9 @@ class CollectorNode:
             link = ReliableLink(
                 self.kernel,
                 peer_jid,
-                send_raw=lambda stanza, p=peer_jid: self._raw_send(p, stanza),
-                deliver=lambda payload, p=peer_jid: self._handle_payload(p, payload),
-                request_ack_send=lambda p=peer_jid: self._send_ack(p),
+                send_raw=partial(self._raw_send, peer_jid),
+                deliver=partial(self._handle_payload, peer_jid),
+                request_ack_send=partial(self._send_ack, peer_jid),
             )
             self.links[peer_jid] = link
             for listener in list(self.on_link_created):

@@ -58,6 +58,53 @@ def default_reward(online_h: float, megabytes: float, stanzas: int) -> float:
     return round(0.10 * online_h + 0.50 * megabytes, 2)
 
 
+def _default_is_device(jid: str) -> bool:
+    return jid.startswith("device-")
+
+
+class _TrackedConnect:
+    """Picklable wrapper around ``server.connect`` (observer tap)."""
+
+    __slots__ = ("tracker", "original")
+
+    def __init__(self, tracker, original) -> None:
+        self.tracker = tracker
+        self.original = original
+
+    def __call__(self, jid: str, deliver, physical_rx=None):
+        session = self.original(jid, deliver, physical_rx)
+        tracker = self.tracker
+        if tracker._is_device(jid):
+            record = tracker._record(jid)
+            record.sessions += 1
+            record.note_activity(tracker.kernel.now, tracker.idle_cap_ms)
+        return session
+
+
+class _TrackedSubmit:
+    """Picklable wrapper around ``server.submit`` (observer tap)."""
+
+    __slots__ = ("tracker", "original")
+
+    def __init__(self, tracker, original) -> None:
+        self.tracker = tracker
+        self.original = original
+
+    def __call__(self, from_jid: str, to_jid: str, stanza: dict, parent_span: int = 0) -> None:
+        self.original(from_jid, to_jid, stanza, parent_span=parent_span)
+        tracker = self.tracker
+        if tracker._is_device(from_jid):
+            record = tracker._record(from_jid)
+            record.stanzas += 1
+            # Envelope payloads answer from their cached canonical
+            # JSON — the tracker's accounting walk is wrapper-only.
+            size = message_size_bytes(stanza)
+            record.bytes += size
+            tracker._m_stanzas.inc()
+            tracker._m_bytes.inc(size)
+            record.note_activity(tracker.kernel.now, tracker.idle_cap_ms)
+
+
 class ParticipationTracker:
     """Observes an :class:`XmppServer` and accounts participation.
 
@@ -78,39 +125,15 @@ class ParticipationTracker:
         self.records: Dict[str, ParticipationRecord] = {}
         self.reward = reward
         self.idle_cap_ms = idle_cap_ms
-        self._is_device = is_device or (lambda jid: jid.startswith("device-"))
+        self._is_device = is_device or _default_is_device
         self._m_stanzas = kernel.metrics.counter("participation.stanzas")
         self._m_bytes = kernel.metrics.counter("participation.bytes")
         self._install()
 
     # ------------------------------------------------------------------
     def _install(self) -> None:
-        original_connect = self.server.connect
-        original_submit = self.server.submit
-
-        def connect(jid: str, deliver, physical_rx=None) -> Session:
-            session = original_connect(jid, deliver, physical_rx)
-            if self._is_device(jid):
-                record = self._record(jid)
-                record.sessions += 1
-                record.note_activity(self.kernel.now, self.idle_cap_ms)
-            return session
-
-        def submit(from_jid: str, to_jid: str, stanza: dict, parent_span: int = 0) -> None:
-            original_submit(from_jid, to_jid, stanza, parent_span=parent_span)
-            if self._is_device(from_jid):
-                record = self._record(from_jid)
-                record.stanzas += 1
-                # Envelope payloads answer from their cached canonical
-                # JSON — the tracker's accounting walk is wrapper-only.
-                size = message_size_bytes(stanza)
-                record.bytes += size
-                self._m_stanzas.inc()
-                self._m_bytes.inc(size)
-                record.note_activity(self.kernel.now, self.idle_cap_ms)
-
-        self.server.connect = connect
-        self.server.submit = submit
+        self.server.connect = _TrackedConnect(self, self.server.connect)
+        self.server.submit = _TrackedSubmit(self, self.server.submit)
 
     def _record(self, jid: str) -> ParticipationRecord:
         if jid not in self.records:

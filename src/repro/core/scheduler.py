@@ -45,6 +45,37 @@ class ScheduledTask:
             self._alarm.cancel()
 
 
+class _TaskFire:
+    """Picklable alarm/timer callback that submits a scheduled task.
+
+    A nested ``fire()`` closure would work identically but cannot be
+    pickled, and scheduler timers are reachable from the kernel's event
+    queue — part of the Shard snapshot graph.  ``handle`` is set only
+    for kernel-native repeating chains (so a stale firing can tear the
+    chain down, exactly as the old closure did).
+    """
+
+    __slots__ = ("scheduler", "task", "fn", "args", "serial_key", "handle")
+
+    def __init__(self, scheduler, task: "ScheduledTask", fn: Callable, args: tuple,
+                 serial_key: Optional[str]) -> None:
+        self.scheduler = scheduler
+        self.task = task
+        self.fn = fn
+        self.args = args
+        self.serial_key = serial_key
+        self.handle = None
+
+    def __call__(self) -> None:
+        task = self.task
+        if task.cancelled or self.scheduler.stopped:
+            if self.handle is not None:
+                self.handle.cancel()
+            return
+        task.fired = True
+        self.scheduler.submit(self.fn, *self.args, serial_key=self.serial_key)
+
+
 class PogoScheduler:
     """Runs middleware and script code with correct power behaviour."""
 
@@ -94,12 +125,7 @@ class PogoScheduler:
             task.cancelled = True
             return task
 
-        def fire() -> None:
-            if task.cancelled or self.stopped:
-                return
-            task.fired = True
-            self.submit(fn, *args, serial_key=serial_key)
-
+        fire = _TaskFire(self, task, fn, args, serial_key)
         task._alarm = self.cpu.set_alarm(delay_ms, fire)
         return task
 
@@ -117,12 +143,7 @@ class PogoScheduler:
             task.cancelled = True
             return task
 
-        def fire() -> None:
-            if task.cancelled or self.stopped:
-                return
-            task.fired = True
-            self.submit(fn, *args, serial_key=serial_key)
-
+        fire = _TaskFire(self, task, fn, args, serial_key)
         task._alarm = self.cpu.set_repeating_alarm(
             interval_ms, fire, initial_delay_ms=initial_delay_ms
         )
@@ -226,11 +247,7 @@ class SimpleScheduler:
             task.cancelled = True
             return task
 
-        def fire() -> None:
-            if not task.cancelled and not self.stopped:
-                task.fired = True
-                self.submit(fn, *args, serial_key=serial_key)
-
+        fire = _TaskFire(self, task, fn, args, serial_key)
         handle = self.kernel.schedule(delay_ms, fire)
         task._alarm = _HandleAlarm(handle)
         return task
@@ -250,18 +267,13 @@ class SimpleScheduler:
             task.cancelled = True
             return task
 
-        def fire() -> None:
-            # The kernel has already re-armed the handle (in place, no
-            # per-tick allocation) by the time this runs; a task that was
-            # cancelled or whose scheduler stopped tears the chain down.
-            if task.cancelled or self.stopped:
-                handle.cancel()
-                return
-            task.fired = True
-            self.submit(fn, *args, serial_key=serial_key)
-
+        # The kernel re-arms the handle in place before each firing; a
+        # firing whose task was cancelled (or whose scheduler stopped)
+        # tears the chain down via the handle stashed on the callback.
+        fire = _TaskFire(self, task, fn, args, serial_key)
         first = interval_ms if initial_delay_ms is None else initial_delay_ms
         handle = self.kernel.schedule_repeating(interval_ms, fire, initial_delay=first)
+        fire.handle = handle
         task._alarm = _HandleAlarm(handle)
         return task
 

@@ -30,6 +30,7 @@ import itertools
 import json
 import threading
 import time
+import types
 from typing import Any, Callable, Dict, List, Optional
 
 from .api import build_namespace
@@ -182,6 +183,90 @@ class Watchdog:
         return result
 
 
+class ScriptFn:
+    """Picklable reference to a function defined by a script.
+
+    Functions created by ``exec`` cannot be pickled (their qualified name
+    resolves nowhere), yet they sit in subscription handlers, timers and
+    scheduler queues — all inside the Shard snapshot graph.  This wrapper
+    stores the *host* and the function's name; after a restore re-executes
+    the script source, the name resolves against the rebuilt namespace.
+    ``__name__`` mirrors the wrapped function so watchdog/call spans
+    record the same label either way.
+    """
+
+    def __init__(self, host: "ScriptHost", fn: Callable) -> None:
+        self.host = host
+        self.name = getattr(fn, "__name__", repr(fn))
+        self._fn: Optional[Callable] = fn
+
+    def __getstate__(self):
+        return {"host": self.host, "name": self.name}
+
+    def __setstate__(self, state):
+        self.host = state["host"]
+        self.name = state["name"]
+        self._fn = None
+
+    @property
+    def __name__(self) -> str:
+        return self.name
+
+    def resolve(self) -> Optional[Callable]:
+        fn = self._fn
+        if fn is None:
+            fn = self._fn = self.host.namespace.get(self.name)
+        return fn
+
+    def __call__(self, *args: Any) -> Any:
+        fn = self.resolve()
+        if fn is None:
+            raise ScriptError(
+                f"script {self.host.name!r} has no function {self.name!r}"
+            )
+        return fn(*args)
+
+
+class _ScriptCallbackHandler:
+    """Picklable subscription handler: funnel a delivery into the
+    script's serialized scheduler lane (Section 4.5)."""
+
+    __slots__ = ("host", "fn")
+
+    def __init__(self, host: "ScriptHost", fn: "ScriptFn") -> None:
+        self.host = host
+        self.fn = fn
+
+    def __call__(self, message: Any) -> None:
+        host = self.host
+        host.context.node.scheduler.submit(
+            host.guarded_call, self.fn, message, serial_key=host.serial_key
+        )
+
+
+def _exec_stub(*_args: Any, **_kwargs: Any) -> None:
+    """Side-effect sink used while re-executing a restored script."""
+    return None
+
+
+#: Namespace entries that are rebuilt (not pickled) on restore: the API
+#: surface plus the interpreter plumbing.
+_RUNTIME_NAMESPACE_KEYS = frozenset(
+    (
+        "__builtins__", "__name__", "math",
+        "setDescription", "setAutoStart", "print", "log", "logTo",
+        "publish", "subscribe", "freeze", "thaw", "json", "setTimeout",
+    )
+)
+
+#: API entries stubbed out during the restore re-exec: anything whose
+#: top-level invocation would repeat a side effect the snapshot already
+#: contains (subscriptions, timers, publishes, log lines, freezes).
+_RESTORE_STUBBED_KEYS = (
+    "print", "log", "logTo", "publish", "subscribe", "freeze", "setTimeout",
+)
+
+
 class ScriptHost:
     """One deployed script inside a context."""
 
@@ -257,7 +342,7 @@ class ScriptHost:
         start = self.namespace.get("start")
         if self.autostart and callable(start):
             self.context.node.scheduler.submit(
-                self.guarded_call, start, serial_key=self.serial_key
+                self.guarded_call, ScriptFn(self, start), serial_key=self.serial_key
             )
 
     def start(self) -> None:
@@ -270,7 +355,7 @@ class ScriptHost:
         self.running = True
         if callable(start):
             self.context.node.scheduler.submit(
-                self.guarded_call, start, serial_key=self.serial_key
+                self.guarded_call, ScriptFn(self, start), serial_key=self.serial_key
             )
 
     def stop(self) -> None:
@@ -290,6 +375,49 @@ class ScriptHost:
         self.stop()
         self.source = new_source
         self.load()
+
+    # ------------------------------------------------------------------
+    # Snapshot/restore (the Shard pickling contract)
+    # ------------------------------------------------------------------
+    def __getstate__(self):
+        """Pickle everything except the exec'd namespace internals.
+
+        Functions and classes defined by ``exec`` are unpicklable; the
+        API entries and ``math`` are rebuilt anyway.  What *is* state —
+        the script's top-level data variables (counters, reading lists,
+        stored subscription handles) — is kept and merged back over the
+        re-executed namespace on restore.
+        """
+        state = self.__dict__.copy()
+        namespace = state.pop("namespace", {})
+        data = {}
+        for key, value in namespace.items():
+            if key in _RUNTIME_NAMESPACE_KEYS:
+                continue
+            if isinstance(value, (types.FunctionType, type, types.ModuleType)):
+                continue  # recreated by re-executing the source
+            data[key] = value
+        state["namespace"] = data
+        return state
+
+    def __setstate__(self, state):
+        data = state.pop("namespace", {})
+        self.__dict__.update(state)
+        self.namespace = {}
+        if self.loaded:
+            namespace = build_namespace(self)
+            real_api = {key: namespace[key] for key in _RESTORE_STUBBED_KEYS}
+            for key in _RESTORE_STUBBED_KEYS:
+                namespace[key] = _exec_stub
+            code = compile(self.source, f"<script {self.name}>", "exec")
+            try:
+                _exec_in(code, namespace)
+            except BaseException:  # noqa: BLE001 - a restore must not raise
+                pass  # partial namespace; data entries still restore below
+            namespace.update(real_api)
+            self.namespace = namespace
+        # Pickled data variables win over whatever top-level code reset.
+        self.namespace.update(data)
 
     # ------------------------------------------------------------------
     # Guarded calls
@@ -342,11 +470,7 @@ class ScriptHost:
         self.context.publish_from_script(self, channel, message)
 
     def api_subscribe(self, channel: str, fn: Callable, parameters: Optional[dict]):
-        def handler(message: Any) -> None:
-            self.context.node.scheduler.submit(
-                self.guarded_call, fn, message, serial_key=self.serial_key
-            )
-
+        handler = _ScriptCallbackHandler(self, ScriptFn(self, fn))
         return self.context.broker.subscribe(
             channel, handler, parameters, owner=self.owner_key
         )
@@ -367,7 +491,8 @@ class ScriptHost:
     def api_set_timeout(self, fn: Callable, delay_ms: float):
         self.timers_set += 1
         timer = self.context.node.scheduler.schedule(
-            float(delay_ms), self.guarded_call, fn, serial_key=self.serial_key
+            float(delay_ms), self.guarded_call, ScriptFn(self, fn),
+            serial_key=self.serial_key,
         )
         self._timers.append(timer)
         return timer

@@ -23,6 +23,20 @@ from .envelope import Envelope
 from .privacy import PrivacySettings
 
 
+class _SensorDemandWatch:
+    """Picklable channel watcher: any subscription change re-evaluates
+    the sensor's duty cycle (a lambda here would break Shard snapshots —
+    watchers live on context brokers inside the pickled graph)."""
+
+    __slots__ = ("sensor",)
+
+    def __init__(self, sensor) -> None:
+        self.sensor = sensor
+
+    def __call__(self, _channel, _subscription, _change) -> None:
+        self.sensor.reevaluate()
+
+
 class SensorManager:
     """Registry and context/privacy bridge for a device's sensors."""
 
@@ -58,9 +72,7 @@ class SensorManager:
 
     def _watch_context_channel(self, context, channel: str) -> None:
         sensor = self.sensors[channel]
-        context.broker.watch_channel(
-            channel, lambda _ch, _sub, _change: sensor.reevaluate()
-        )
+        context.broker.watch_channel(channel, _SensorDemandWatch(sensor))
 
     # ------------------------------------------------------------------
     # What sensors ask

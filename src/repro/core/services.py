@@ -17,6 +17,7 @@ devices (their owner tag is excluded from subscription sync).
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Any, Dict, Optional
 
 from ..world.geolocation import GeolocationService
@@ -43,7 +44,7 @@ class GeolocationBridge:
         self._contexts.append(context)
         context.broker.subscribe(
             GEO_LOOKUP_CHANNEL,
-            lambda message, ctx=context: self._handle(ctx, message),
+            partial(self._handle, context),
             owner=self.owner,
         )
 

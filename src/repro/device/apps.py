@@ -45,7 +45,7 @@ class EmailApp:
         self.name = name
         self.check_count = 0
         self.failed_checks = 0
-        self.activity_track = IntervalTrack(name, lambda: phone.kernel.now)
+        self.activity_track = IntervalTrack(name, phone.kernel.read_now)
         self._alarm = None
         self._running = False
 
@@ -113,7 +113,7 @@ class ChattyApp:
         self.name = name
         self._rng = rng
         self.exchange_count = 0
-        self.activity_track = IntervalTrack(name, lambda: phone.kernel.now)
+        self.activity_track = IntervalTrack(name, phone.kernel.read_now)
         self._alarm = None
         self._running = False
 

@@ -184,7 +184,7 @@ class Cpu:
         self._frozen_timers: Set[SleepFrozenTimer] = set()
         self.on_wake: List[Callable[[str], None]] = []
         self.on_sleep: List[Callable[[], None]] = []
-        self.awake_track = IntervalTrack("cpu", lambda: kernel.now)
+        self.awake_track = IntervalTrack("cpu", kernel.read_now)
         self.wake_count = 0
         self.awake_track.open(kernel.now, label="boot")
         self._rail.set_draw(self.name, self.config.awake_w)

@@ -69,7 +69,7 @@ class Phone:
             simulate_paging=simulate_paging,
         )
         self.wifi = WifiInterface(kernel, self.rail, wifi_config, name=f"{name}.wifi", trace=trace)
-        self.wifi.on_connectivity.append(lambda _connected: self._interface_changed())
+        self.wifi.on_connectivity.append(self._on_wifi_connectivity)
 
         self.alive = True
         self.reboot_count = 0
@@ -95,6 +95,9 @@ class Phone:
         if self.modem.available:
             return INTERFACE_CELLULAR
         return None
+
+    def _on_wifi_connectivity(self, _connected: bool) -> None:
+        self._interface_changed()
 
     def _interface_changed(self) -> None:
         current = self.active_interface()

@@ -145,7 +145,7 @@ class Modem:
         self._paging_blip_timer: Optional[EventHandle] = None
 
         self.on_state_change: List[Callable[[str, str], None]] = []
-        self.active_track = IntervalTrack("radio", lambda: kernel.now)
+        self.active_track = IntervalTrack("radio", kernel.read_now)
         self._apply_power()
         self._arm_paging()
 

@@ -37,6 +37,12 @@ from ..sim.kernel import Kernel, MINUTE
 from ..core.envelope import Stanza
 
 
+def _no_ack_request() -> None:
+    """Default ``request_ack_send``: do nothing (picklable, unlike a
+    ``lambda: None`` — links live inside the Shard snapshot graph)."""
+    return None
+
+
 class LinkObserver:
     """Passive per-link tap for protocol verification (no-op base).
 
@@ -84,7 +90,7 @@ class ReliableLink:
         self.peer = peer
         self._send_raw = send_raw
         self._deliver = deliver
-        self._request_ack_send = request_ack_send or (lambda: None)
+        self._request_ack_send = request_ack_send or _no_ack_request
         self.resend_interval_ms = resend_interval_ms
 
         # Sender state.

@@ -20,6 +20,7 @@ buffering and tail synchronization (``repro.core``) own that policy.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Callable, List, Optional
 
 from ..sim.kernel import Kernel, SECOND
@@ -29,6 +30,83 @@ from .xmpp import Session, XmppServer
 
 class TransportError(Exception):
     """Raised when a send is attempted with no usable connection."""
+
+
+class _TransferDone:
+    """Picklable completion callback for an outgoing stanza transfer.
+
+    The transfer completes asynchronously (radio time) via the kernel's
+    event queue, so this callback is part of the Shard snapshot graph —
+    a nested closure here would make a mid-flight snapshot unpicklable.
+    """
+
+    __slots__ = (
+        "transport", "to_jid", "stanza", "size", "session",
+        "tracing", "parent", "start_ms", "interface", "on_complete",
+    )
+
+    def __init__(self, transport, to_jid, stanza, size, session,
+                 tracing, parent, start_ms, interface, on_complete):
+        self.transport = transport
+        self.to_jid = to_jid
+        self.stanza = stanza
+        self.size = size
+        self.session = session
+        self.tracing = tracing
+        self.parent = parent
+        self.start_ms = start_ms
+        self.interface = interface
+        self.on_complete = on_complete
+
+    def __call__(self, success: bool) -> None:
+        t = self.transport
+        spans = t._spans
+        size = self.size
+        if success and t.connected and t._session is self.session:
+            t.stanzas_sent += 1
+            t._m_stanzas.inc()
+            t._m_bytes.inc(size)
+            t._m_stanza_bytes.observe(size)
+            route_parent = 0
+            if self.tracing and spans.enabled:
+                route_parent = t._h_send.record(
+                    0,
+                    self.parent,
+                    self.start_ms,
+                    t.kernel.now,
+                    {"bytes": size, "interface": self.interface or "none", "ok": True},
+                )
+            t.server.submit(t.jid, self.to_jid, self.stanza, parent_span=route_parent)
+        else:
+            t.send_failures += 1
+            t._m_failures.inc()
+            success = False
+            if self.tracing and spans.enabled:
+                t._h_send.record(
+                    0,
+                    self.parent,
+                    self.start_ms,
+                    t.kernel.now,
+                    {"bytes": size, "interface": self.interface or "none", "ok": False},
+                )
+        if self.on_complete is not None:
+            self.on_complete(success)
+
+
+class _RxDone:
+    """Picklable completion callback for a downlink transfer."""
+
+    __slots__ = ("transport", "complete")
+
+    def __init__(self, transport, complete):
+        self.transport = transport
+        self.complete = complete
+
+    def __call__(self, success: bool) -> None:
+        if success:
+            # Incoming data wakes the device, like an Android push.
+            self.transport.phone.cpu.wake("push")
+        self.complete(success)
 
 
 class WiredTransport:
@@ -214,13 +292,13 @@ class DeviceTransport:
                 tx_bytes=self.handshake_tx_bytes,
                 rx_bytes=self.handshake_rx_bytes,
                 duration_hint_ms=600.0,
-                on_complete=lambda ok: self._handshake_done(ok, interface),
+                on_complete=partial(self._handshake_done, interface),
                 label=f"{self.jid}:handshake",
             )
         except Exception:
             self._schedule_connect(self.retry_interval_ms)
 
-    def _handshake_done(self, success: bool, interface: str) -> None:
+    def _handshake_done(self, interface: str, success: bool) -> None:
         if not success or self.phone.active_interface() != interface:
             self._schedule_connect(self.retry_interval_ms)
             return
@@ -250,37 +328,10 @@ class DeviceTransport:
         start_ms = self.kernel.now
         interface = self.phone.active_interface()
 
-        def transfer_done(success: bool) -> None:
-            if success and self.connected and self._session is session:
-                self.stanzas_sent += 1
-                self._m_stanzas.inc()
-                self._m_bytes.inc(size)
-                self._m_stanza_bytes.observe(size)
-                route_parent = 0
-                if tracing and spans.enabled:
-                    route_parent = self._h_send.record(
-                        0,
-                        parent,
-                        start_ms,
-                        self.kernel.now,
-                        {"bytes": size, "interface": interface or "none", "ok": True},
-                    )
-                self.server.submit(self.jid, to_jid, stanza, parent_span=route_parent)
-            else:
-                self.send_failures += 1
-                self._m_failures.inc()
-                success = False
-                if tracing and spans.enabled:
-                    self._h_send.record(
-                        0,
-                        parent,
-                        start_ms,
-                        self.kernel.now,
-                        {"bytes": size, "interface": interface or "none", "ok": False},
-                    )
-            if on_complete is not None:
-                on_complete(success)
-
+        transfer_done = _TransferDone(
+            self, to_jid, stanza, size, session,
+            tracing, parent, start_ms, interface, on_complete,
+        )
         self.phone.transfer(
             tx_bytes=size,
             on_complete=transfer_done,
@@ -296,12 +347,7 @@ class DeviceTransport:
             complete(False)
             return
 
-        def rx_done(success: bool) -> None:
-            if success:
-                # Incoming data wakes the device, like an Android push.
-                self.phone.cpu.wake("push")
-            complete(success)
-
+        rx_done = _RxDone(self, complete)
         try:
             self.phone.transfer(rx_bytes=size, on_complete=rx_done, label=f"{self.jid}:recv")
         except Exception:

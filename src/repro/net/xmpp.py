@@ -38,9 +38,6 @@ class RoutingError(Exception):
     """Raised for routing without a roster association or unknown JIDs."""
 
 
-_session_ids = itertools.count(1)
-
-
 class LinkInterceptor:
     """Interface for the chaos seam on :attr:`XmppServer.interceptor`.
 
@@ -59,12 +56,20 @@ class LinkInterceptor:
 class Session:
     """One client's connection to the server.
 
-    Session ids are process-global but purely cosmetic (trace labels);
-    nothing routes or branches on them.
+    Session ids are per-server (cosmetic: trace labels only); nothing
+    routes or branches on them.  Keeping the counter on the server —
+    not at module level — is what makes two shards in one process, or
+    one shard unpickled in another, produce identical traces.
     """
 
-    def __init__(self, jid: str, deliver: Callable[[dict], None], physical_rx: Optional[Callable] = None):
-        self.id = next(_session_ids)
+    def __init__(
+        self,
+        jid: str,
+        deliver: Callable[[dict], None],
+        physical_rx: Optional[Callable] = None,
+        session_id: int = 0,
+    ):
+        self.id = session_id
         self.jid = jid
         #: Upcall into the client with a received stanza.
         self.deliver = deliver
@@ -76,6 +81,36 @@ class Session:
 
     def close(self) -> None:
         self.alive = False
+
+
+class _DeliveryComplete:
+    """Picklable physical-rx completion for one delivery attempt.
+
+    The device's radio calls this back after the downlink transfer; it
+    sits in the kernel's event queue mid-flight, so it must survive a
+    Shard snapshot (a nested closure would not).
+    """
+
+    __slots__ = ("server", "session", "stanza", "route_ctx")
+
+    def __init__(self, server, session, stanza, route_ctx):
+        self.server = server
+        self.session = session
+        self.stanza = stanza
+        self.route_ctx = route_ctx
+
+    def __call__(self, success: bool) -> None:
+        server = self.server
+        session = self.session
+        if success and session.alive:
+            server._route_span(self.route_ctx, session.jid, "delivered")
+            session.deliver(self.stanza)
+        else:
+            # Sent into a dead interface: the loss the paper observed.
+            # The failed write also reveals the session is gone, so
+            # subsequent stanzas go to offline storage instead.
+            server._route_span(self.route_ctx, session.jid, "lost")
+            server._lose(session, self.stanza)
 
 
 class XmppServer:
@@ -103,7 +138,17 @@ class XmppServer:
         #: large entry = held back past later traffic, i.e. reordered).
         #: ``None`` keeps the plain single-delivery path with zero overhead.
         self.interceptor: Optional["LinkInterceptor"] = None
+        #: Cross-shard seam.  When set, a stanza submitted for a JID this
+        #: server does not host is handed to ``egress(from_jid, to_jid,
+        #: stamped_stanza)`` instead of raising ``RoutingError``; the
+        #: owning :class:`~repro.core.shard.Shard` queues it for the
+        #: epoch barrier and the peer shard replays it via
+        #: :meth:`ingress`.  ``None`` keeps the single-switchboard
+        #: behaviour (unknown JIDs are an error).
+        self.egress: Optional[Callable[[str, str, dict], None]] = None
+        self._session_ids = itertools.count(1)
         self.stanzas_routed = 0
+        self.stanzas_egressed = 0
         self.stanzas_lost = 0
         self.stanzas_stored_offline = 0
         self.restarts = 0
@@ -155,7 +200,7 @@ class XmppServer:
         old = self._sessions.get(jid)
         if old is not None:
             old.close()
-        session = Session(jid, deliver, physical_rx)
+        session = Session(jid, deliver, physical_rx, session_id=next(self._session_ids))
         self._sessions[jid] = session
         self._last_heard[jid] = self.kernel.now
         if self.trace is not None:
@@ -229,9 +274,10 @@ class XmppServer:
         ``parent_span`` is the sender's transport span; the routing span
         recorded at the outcome (delivered / offline / lost) hangs off it.
         """
-        if to_jid not in self._accounts:
+        remote = to_jid not in self._accounts
+        if remote and self.egress is None:
             raise RoutingError(f"unknown destination JID: {to_jid}")
-        if to_jid not in self._rosters.get(from_jid, set()):
+        if not remote and to_jid not in self._rosters.get(from_jid, set()):
             raise RoutingError(f"{from_jid} and {to_jid} are not associated")
         self.note_heard_from(from_jid)
         # A Stanza copy keeps dict semantics but caches its canonical
@@ -251,6 +297,13 @@ class XmppServer:
                 splice = False
             if splice:
                 stamped._json = '{"_from":%s,%s' % (_escape_str(from_jid), cached[1:])
+        if remote:
+            # Destined for a JID another shard hosts: hand the stamped
+            # stanza across the boundary; the peer replays it through
+            # :meth:`ingress` at the next epoch barrier.
+            self.stanzas_egressed += 1
+            self.egress(from_jid, to_jid, stamped)
+            return
         route_ctx = (self.kernel.now, parent_span) if self._spans.enabled else None
         interceptor = self.interceptor
         if interceptor is None:
@@ -260,6 +313,19 @@ class XmppServer:
             self.kernel.schedule(
                 self.latency_ms + extra_ms, self._route, from_jid, to_jid, stamped, route_ctx
             )
+
+    def ingress(self, from_jid: str, to_jid: str, stanza: dict) -> None:
+        """Accept a stanza handed over from another shard's egress.
+
+        The stanza is already stamped with ``_from`` by the sending
+        switchboard; only the local delivery leg (base latency, offline
+        storage, loss windows) is simulated here.  Roster checks were the
+        sending side's responsibility — federated servers trust each
+        other, as XMPP server-to-server links do.
+        """
+        if to_jid not in self._accounts:
+            raise RoutingError(f"ingress for unknown local JID: {to_jid}")
+        self.kernel.schedule(self.latency_ms, self._route, from_jid, to_jid, stanza, None)
 
     def _route_span(self, route_ctx, to_jid: str, outcome: str) -> None:
         if route_ctx is None or not self._spans.enabled:
@@ -296,17 +362,7 @@ class XmppServer:
             session.deliver(stanza)
             return
 
-        def complete(success: bool) -> None:
-            if success and session.alive:
-                self._route_span(route_ctx, session.jid, "delivered")
-                session.deliver(stanza)
-            else:
-                # Sent into a dead interface: the loss the paper observed.
-                # The failed write also reveals the session is gone, so
-                # subsequent stanzas go to offline storage instead.
-                self._route_span(route_ctx, session.jid, "lost")
-                self._lose(session, stanza)
-
+        complete = _DeliveryComplete(self, session, stanza, route_ctx)
         try:
             session.physical_rx(size, complete)
         except Exception:

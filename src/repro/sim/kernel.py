@@ -151,16 +151,44 @@ class Kernel:
         #: histograms here; the event count is exposed as a pull-gauge so
         #: the run loop itself pays nothing for observability.
         self.metrics = MetricsRegistry()
-        self.metrics.gauge("kernel.events", lambda: self.events_executed)
-        self.metrics.gauge("kernel.pending_events", lambda: self.pending_events)
-        self.metrics.gauge("kernel.tombstones", lambda: self._tombstones)
-        self.metrics.gauge("kernel.compactions", lambda: self.compactions)
+        # Gauges are bound methods, not closures: every callable reachable
+        # from the kernel graph must survive a pickle round-trip (the Shard
+        # snapshot contract, see repro.core.shard).
+        self.metrics.gauge("kernel.events", self._gauge_events)
+        self.metrics.gauge("kernel.pending_events", self._gauge_pending)
+        self.metrics.gauge("kernel.tombstones", self._gauge_tombstones)
+        self.metrics.gauge("kernel.compactions", self._gauge_compactions)
         #: The kernel's flight recorder.  Components pre-bind hop handles
         #: (``kernel.spans.hop("buffer.dwell")``) at construction; the ring
         #: bounds memory and the gauges surface volume/eviction pressure.
-        self.spans = SpanRecorder(clock=lambda: self._now)
-        self.metrics.gauge("spans.recorded", lambda: self.spans.recorded)
-        self.metrics.gauge("spans.dropped", lambda: self.spans.dropped)
+        self.spans = SpanRecorder(clock=self.read_now)
+        self.metrics.gauge("spans.recorded", self._gauge_spans_recorded)
+        self.metrics.gauge("spans.dropped", self._gauge_spans_dropped)
+
+    # ------------------------------------------------------------------
+    # Pickle-safe gauge/clock callables
+    # ------------------------------------------------------------------
+    def read_now(self) -> float:
+        """The clock as a picklable callable (for recorders and tracks)."""
+        return self._now
+
+    def _gauge_events(self) -> float:
+        return self.events_executed
+
+    def _gauge_pending(self) -> float:
+        return self.pending_events
+
+    def _gauge_tombstones(self) -> float:
+        return self._tombstones
+
+    def _gauge_compactions(self) -> float:
+        return self.compactions
+
+    def _gauge_spans_recorded(self) -> float:
+        return self.spans.recorded
+
+    def _gauge_spans_dropped(self) -> float:
+        return self.spans.dropped
 
     # ------------------------------------------------------------------
     # Clock
