@@ -44,6 +44,7 @@ from .core.tailsync import (
     TailDetector,
 )
 from .device.radio import CARRIERS, KPN, T_MOBILE, VODAFONE, CarrierProfile
+from .fleet import FleetResult, fleet_spec, plan_fleet, run_fleet
 from .sim.kernel import DAY, HOUR, MINUTE, SECOND, Kernel
 from .sim.randomness import RandomStreams
 
@@ -71,6 +72,10 @@ __all__ = [
     "T_MOBILE",
     "VODAFONE",
     "CarrierProfile",
+    "FleetResult",
+    "fleet_spec",
+    "plan_fleet",
+    "run_fleet",
     "DAY",
     "HOUR",
     "MINUTE",

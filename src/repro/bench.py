@@ -37,8 +37,16 @@ from typing import Any, Dict, List, Optional, Sequence
 #: Artifact schema identifier; bump when the layout changes.
 SCHEMA = "bench_kernel/1"
 
-#: Fleet sizes measured by default (the ROADMAP's 5 -> 500 scaling axis).
-DEFAULT_FLEETS = (5, 50, 500)
+#: Fleet sizes measured by default (the ROADMAP's 5 -> 500 scaling axis,
+#: extended with the partitioned 5000x4 row from the fleet coordinator).
+#: An entry is either ``devices`` (single process) or ``(devices, shards)``.
+DEFAULT_FLEETS = (5, 50, 500, (5000, 4))
+
+#: The wall-clock-gated large row: measured only when the 5000-device row
+#: projects it to finish inside LARGE_BUDGET_S (or REPRO_BENCH_LARGE=1
+#: forces it) — a laptop should never stall on `repro bench`.
+LARGE_FLEET = (50_000, 8)
+LARGE_BUDGET_S = 300.0
 
 #: Benchmark seed.  Distinct from the determinism seed (7) so the two
 #: planes of the artifact cannot be confused.
@@ -67,6 +75,7 @@ def run_fleet(
     repeats: int = 1,
     spans: bool = False,
     metrics: bool = False,
+    shards: int = 1,
 ) -> Dict[str, Any]:
     """Measure one fleet size; returns a result row.
 
@@ -74,16 +83,33 @@ def run_fleet(
     the standard robust estimator for a noisy-neighbour CI box; the mean
     rides along for context.  Event counts are asserted identical across
     repeats: a benchmark that perturbs the simulation is lying.
+
+    With ``shards > 1`` the run goes through the fleet coordinator
+    (spawned worker processes, epoch-barrier handoff); ``events`` is then
+    the merged fleet total and ``events_per_s`` the aggregate rate.
     """
     walls: List[float] = []
+    crits: List[float] = []
     events: Optional[int] = None
     sim_ms = hours * 3_600_000.0
     for _ in range(max(1, repeats)):
-        t0 = time.perf_counter()
-        sim = _build_fleet(seed, devices, spans, metrics)
-        sim.run(hours=hours)
-        walls.append(time.perf_counter() - t0)
-        executed = sim.kernel.events_executed
+        if shards > 1:
+            from .fleet import run_fleet as run_partitioned
+
+            t0 = time.perf_counter()
+            result = run_partitioned(
+                devices, shards, seed=seed, hours=hours,
+                collector="bench", spans=spans, metrics=metrics,
+            )
+            walls.append(time.perf_counter() - t0)
+            crits.append(result.critical_path_s)
+            executed = result.events
+        else:
+            t0 = time.perf_counter()
+            sim = _build_fleet(seed, devices, spans, metrics)
+            sim.run(hours=hours)
+            walls.append(time.perf_counter() - t0)
+            executed = sim.kernel.events_executed
         if events is None:
             events = executed
         elif events != executed:
@@ -91,14 +117,24 @@ def run_fleet(
                 f"non-deterministic benchmark: {events} vs {executed} events"
             )
     best = min(walls)
-    return {
+    row = {
         "devices": devices,
+        "shards": shards,
         "events": events,
         "wall_s": round(best, 6),
         "wall_s_mean": round(sum(walls) / len(walls), 6),
         "events_per_s": round(events / best, 1),
         "speedup": round((sim_ms / 1000.0) / best, 1),
     }
+    if crits:
+        # The busiest worker's advance time: with one core per worker the
+        # fleet finishes in this wall time, so events/critical-path is the
+        # aggregate rate the shard layout supports (``events_per_s`` above
+        # is what *this* machine's core count delivered).
+        crit = min(crits)
+        row["critical_path_s"] = round(crit, 6)
+        row["events_per_s_parallel"] = round(events / crit, 1) if crit else 0.0
+    return row
 
 
 # ---------------------------------------------------------------------------
@@ -155,27 +191,65 @@ def determinism_hashes(seed: int = 7) -> Dict[str, str]:
 STRUCTURAL_FIELDS = ("schema", "workload", "seed", "hours", "config", "determinism")
 
 
+def fleet_key(devices: int, shards: int) -> str:
+    """The row's identity in ``events_by_fleet``: ``"500"`` for a single
+    process, ``"5000x4"`` for a partitioned row — devices alone would
+    collide if the same size is measured at two shard counts."""
+    return str(devices) if shards <= 1 else f"{devices}x{shards}"
+
+
 def run_benchmark(
-    fleets: Sequence[int] = DEFAULT_FLEETS,
+    fleets: Sequence[Any] = DEFAULT_FLEETS,
     seed: int = BENCH_SEED,
     hours: float = 1.0,
     repeats: int = 3,
     progress=None,
+    large: Optional[bool] = None,
 ) -> Dict[str, Any]:
-    """The full benchmark: fleet scaling rows + determinism hashes."""
+    """The full benchmark: fleet scaling rows + determinism hashes.
+
+    ``fleets`` entries are ``devices`` or ``(devices, shards)``.  The
+    :data:`LARGE_FLEET` row is appended when ``large`` is True, skipped
+    when False, and wall-clock-gated when None: it runs only if the
+    largest measured row projects it to finish inside
+    :data:`LARGE_BUDGET_S` (linear extrapolation on devices/shards).
+    """
     import platform
 
     rows = []
-    for devices in fleets:
+    for entry in fleets:
+        devices, shards = entry if isinstance(entry, tuple) else (entry, 1)
         # The big fleets take seconds per run; one repeat is plenty there.
         n = repeats if devices <= 50 else 1
         if progress is not None:
-            progress(f"fleet {devices:>4} x{n} ...")
-        rows.append(run_fleet(devices, seed=seed, hours=hours, repeats=n))
+            progress(f"fleet {fleet_key(devices, shards):>7} x{n} ...")
+        rows.append(
+            run_fleet(devices, seed=seed, hours=hours, repeats=n, shards=shards)
+        )
+    if large is None and rows:
+        anchor = max(rows, key=lambda row: row["devices"])
+        scale = (LARGE_FLEET[0] / anchor["devices"]) * (
+            max(1, anchor["shards"]) / LARGE_FLEET[1]
+        )
+        large = anchor["wall_s"] * scale <= LARGE_BUDGET_S
+    if large:
+        devices, shards = LARGE_FLEET
+        if progress is not None:
+            progress(f"fleet {fleet_key(devices, shards):>7} x1 ...")
+        row = run_fleet(devices, seed=seed, hours=hours, shards=shards)
+        # Wall-clock-gated rows are trend data, not part of the
+        # machine-independent structural plane — whether they ran at all
+        # depends on how fast the box is.
+        row["gated"] = True
+        rows.append(row)
     if progress is not None:
         progress("determinism hashes ...")
     hashes = determinism_hashes()
-    events_by_fleet = {str(row["devices"]): row["events"] for row in rows}
+    events_by_fleet = {
+        fleet_key(row["devices"], row["shards"]): row["events"]
+        for row in rows
+        if not row.get("gated")
+    }
     return {
         "schema": SCHEMA,
         "workload": "battery_monitor fleet hour (Table 3 workload)",
@@ -187,6 +261,7 @@ def run_benchmark(
         "environment": {
             "python": platform.python_version(),
             "platform": platform.platform(),
+            "cpus": os.cpu_count(),
         },
     }
 
@@ -200,8 +275,13 @@ def structural_view(report: Dict[str, Any]) -> Dict[str, Any]:
     """The machine-independent subset CI diffs against the committed copy."""
     view = {key: report[key] for key in STRUCTURAL_FIELDS if key in report}
     view["fleets"] = [
-        {"devices": row["devices"], "events": row["events"]}
+        {
+            "devices": row["devices"],
+            "shards": row.get("shards", 1),
+            "events": row["events"],
+        }
         for row in report.get("fleets", ())
+        if not row.get("gated")
     ]
     return view
 
@@ -211,12 +291,20 @@ def render_report(report: Dict[str, Any]) -> str:
         f"kernel benchmark — {report['workload']} (seed {report['seed']})",
         f"config: spans={report['config']['spans']} metrics={report['config']['metrics']}",
         "",
-        f"{'devices':>8} {'events':>10} {'wall (s)':>10} {'events/s':>12} {'speedup':>12}",
+        f"{'devices':>8} {'shards':>7} {'events':>12} {'wall (s)':>10} "
+        f"{'events/s':>12} {'speedup':>12}",
     ]
     for row in report["fleets"]:
+        notes = []
+        if "events_per_s_parallel" in row:
+            notes.append(f"parallel {row['events_per_s_parallel']:,.0f} ev/s")
+        if row.get("gated"):
+            notes.append("wall-clock gated")
         lines.append(
-            f"{row['devices']:>8} {row['events']:>10,} {row['wall_s']:>10.3f} "
+            f"{row['devices']:>8} {row.get('shards', 1):>7} "
+            f"{row['events']:>12,} {row['wall_s']:>10.3f} "
             f"{row['events_per_s']:>12,.0f} {row['speedup']:>11,.0f}x"
+            + (f"  ({', '.join(notes)})" if notes else "")
         )
     lines.append("")
     lines.append("determinism (must be identical on every machine):")
@@ -227,32 +315,36 @@ def render_report(report: Dict[str, Any]) -> str:
     return "\n".join(lines)
 
 
-def parse_fleets(value: Any, source: str = "--fleets") -> List[int]:
+def parse_fleets(value: Any, source: str = "--fleets") -> List[Any]:
     """Parse a comma-separated fleet-size list, rejecting junk loudly.
 
-    ``source`` names where the value came from (flag or env var) so the
-    error tells the user which knob to fix.
+    A token is ``N`` (single process) or ``NxK`` (N devices partitioned
+    across K shard workers), e.g. ``"5,500,5000x4"``.  ``source`` names
+    where the value came from (flag or env var) so the error tells the
+    user which knob to fix.
     """
-    fleets: List[int] = []
+    fleets: List[Any] = []
     for part in str(value).split(","):
         part = part.strip()
         if not part:
             continue
+        size_text, sep, shard_text = part.partition("x")
         try:
-            size = int(part)
+            size = int(size_text)
+            shards = int(shard_text) if sep else 1
         except ValueError:
             raise ValueError(
-                f"{source}: {part!r} is not an integer fleet size"
+                f"{source}: {part!r} is not a fleet size (want N or NxK)"
             ) from None
-        if size <= 0:
-            raise ValueError(f"{source}: fleet sizes must be positive, got {size}")
-        fleets.append(size)
+        if size <= 0 or shards <= 0:
+            raise ValueError(f"{source}: fleet sizes must be positive, got {part!r}")
+        fleets.append((size, shards) if sep else size)
     if not fleets:
         raise ValueError(f"{source}: no fleet sizes found in {value!r}")
     return fleets
 
 
-def resolve_fleets(flag_value: Optional[str], env=None) -> List[int]:
+def resolve_fleets(flag_value: Optional[str], env=None) -> List[Any]:
     """Fleet sizes from ``--fleets``, else the env vars, else the default.
 
     ``REPRO_BENCH_FLEETS`` (list) is consulted before the older singular
@@ -276,11 +368,26 @@ def main(args) -> int:
     except ValueError as exc:
         print(f"bench: {exc}", file=sys.stderr)
         return 2
+    shards = getattr(args, "shards", None)
+    if shards is not None:
+        if shards <= 0:
+            print(f"bench: --shards must be positive, got {shards}", file=sys.stderr)
+            return 2
+        # The --shards axis: re-measure every plain fleet size partitioned
+        # across K workers (NxK tokens keep their own shard counts).
+        fleets = [
+            entry if isinstance(entry, tuple) else (entry, shards)
+            for entry in fleets
+        ]
+    large = None
+    if os.environ.get("REPRO_BENCH_LARGE", "").strip():
+        large = os.environ["REPRO_BENCH_LARGE"].strip() not in ("0", "no", "off")
     report = run_benchmark(
         fleets=fleets,
         hours=args.hours,
         repeats=args.repeats,
         progress=(None if args.json else lambda note: print(note, file=sys.stderr)),
+        large=large,
     )
     text = canonical_dumps(report)
     if args.out:

@@ -19,6 +19,9 @@ chaos            deterministic fault injection + invariant verdict
                  (scenario presets, --report JSON, --inject-bug canary)
 bench            fleet-scaling kernel benchmark; emits the canonical
                  BENCH_kernel.json artifact (machine-comparable)
+fleet            one simulation partitioned across shard worker
+                 processes; the merged report is byte-identical to the
+                 single-shard run (--shards 1 is that run)
 
 Every command accepts ``--seed`` and prints a deterministic report.
 """
@@ -119,6 +122,35 @@ def _build_parser() -> argparse.ArgumentParser:
                             "empty string to skip writing)")
     bench.add_argument("--json", action="store_true",
                        help="print the canonical JSON artifact instead of text")
+    bench.add_argument("--shards", type=int, default=None,
+                       help="partition every plain fleet size across this "
+                            "many shard worker processes (NxK tokens keep "
+                            "their own counts)")
+
+    fleet = sub.add_parser(
+        "fleet", help="partitioned multiprocess run with a merged report"
+    )
+    fleet.add_argument("--devices", type=int, default=500,
+                       help="fleet size (default 500)")
+    fleet.add_argument("--shards", type=int, default=4,
+                       help="worker process count (default 4; 1 = the "
+                            "reference single-shard run)")
+    fleet.add_argument("--hours", type=float, default=1.0,
+                       help="simulated hours (default 1.0)")
+    fleet.add_argument("--epoch-ms", type=float, default=None,
+                       help="barrier window length; must not exceed the "
+                            "minimum cross-shard latency (the default)")
+    fleet.add_argument("--in-process", action="store_true",
+                       help="drive the shards in this process behind the "
+                            "same barrier protocol (no spawn cost; "
+                            "byte-identical results)")
+    fleet.add_argument("--report", metavar="PATH",
+                       help="write the merged fleet report as canonical JSON")
+    fleet.add_argument("--json", action="store_true",
+                       help="print the merged report JSON instead of text")
+    fleet.add_argument("--seed", type=int, default=argparse.SUPPRESS,
+                       help="experiment seed (also accepted before the "
+                            "subcommand)")
 
     return parser
 
@@ -496,6 +528,51 @@ def cmd_bench(args) -> int:
     return _bench.main(args)
 
 
+def cmd_fleet(args) -> int:
+    from .fleet import FleetError, WorkerCrashed, run_fleet
+
+    try:
+        result = run_fleet(
+            args.devices,
+            args.shards,
+            seed=args.seed,
+            hours=args.hours,
+            epoch_ms=args.epoch_ms,
+            processes=not args.in_process,
+        )
+    except (FleetError, WorkerCrashed) as exc:
+        print(f"fleet: {exc}", file=sys.stderr)
+        return 1
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as fh:
+            fh.write(result.report_json)
+    if args.json:
+        print(result.report_json, end="")
+        return 0
+    mode = "in-process" if args.in_process or args.shards == 1 else "spawned"
+    print(
+        f"{result.devices} devices across {result.shards} {mode} shard(s), "
+        f"{args.hours} h simulated (seed {args.seed}):"
+    )
+    print(
+        f"  {result.events:,} events in {result.wall_s:.2f} s wall "
+        f"({result.events / result.wall_s:,.0f} ev/s aggregate)"
+    )
+    print(
+        f"  {result.barriers:,} barriers at epoch {result.epoch_ms:.0f} ms, "
+        f"{result.handoffs:,} cross-shard handoffs"
+    )
+    server = result.report["server"]
+    print(
+        f"  {server['stanzas_routed']:,} stanzas routed, "
+        f"{server['stanzas_lost']:,} lost, "
+        f"{server['stanzas_stored_offline']:,} stored offline"
+    )
+    if args.report:
+        print(f"  merged report -> {args.report}")
+    return 0
+
+
 _COMMANDS = {
     "quickstart": cmd_quickstart,
     "localization": cmd_localization,
@@ -509,6 +586,7 @@ _COMMANDS = {
     "trace": cmd_trace,
     "chaos": cmd_chaos,
     "bench": cmd_bench,
+    "fleet": cmd_fleet,
 }
 
 

@@ -39,7 +39,7 @@ from __future__ import annotations
 import json
 import pickle
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, NamedTuple, Optional, Tuple
 
 from ..device.apps import EmailApp, EmailConfig
 from ..device.phone import Phone
@@ -87,7 +87,14 @@ class SimContext:
 
 @dataclass(frozen=True)
 class DeviceSpec:
-    """Declarative description of one device in a shard roster."""
+    """Declarative description of one device in a shard roster.
+
+    ``jid`` pins the device's identifier instead of taking the next
+    ``device-N@pogo`` from the per-shard counter.  The fleet partitioner
+    sets it so every shard keeps the *global* numbering — per-device
+    random streams are keyed by JID, so this is what makes a partitioned
+    run draw the same randomness as the single-shard one.
+    """
 
     with_sensors: bool = True
     with_email_app: bool = False
@@ -95,6 +102,27 @@ class DeviceSpec:
     simulate_paging: bool = False
     track_power_history: bool = False
     capabilities: Optional[frozenset] = None
+    jid: Optional[str] = None
+
+
+class Handoff(NamedTuple):
+    """One cross-shard stanza, queued at egress for the coordinator.
+
+    ``submit_ms`` is the sender-shard kernel time at which the stanza
+    entered the switchboard; the receiving shard replays it due at
+    ``submit_ms + latency`` so the cross-shard leg costs exactly what a
+    local route would.  ``seq`` is the sender shard's running egress
+    counter — ``(submit_ms, from_jid, seq)`` totally orders handoffs
+    (a JID lives on exactly one shard, so ``from_jid`` disambiguates
+    equal-time submissions from different shards and ``seq`` preserves
+    the sender's program order within one shard).
+    """
+
+    submit_ms: float
+    seq: int
+    from_jid: str
+    to_jid: str
+    stanza: dict
 
 
 @dataclass(frozen=True)
@@ -250,7 +278,8 @@ class Shard:
         #: Scenario/tooling attachments (chaos engine, invariant monitor,
         #: …) that must survive a snapshot/restore alongside the shard.
         self.extras: Dict[str, Any] = {}
-        self._egress: List[Tuple[str, str, dict]] = []
+        self._egress: List[Handoff] = []
+        self._egress_seq = 0
         self._started = False
         if spec is not None:
             for name in spec.collectors:
@@ -267,6 +296,7 @@ class Shard:
                         if device_spec.capabilities is not None
                         else None
                     ),
+                    jid=device_spec.jid,
                 )
 
     # ------------------------------------------------------------------
@@ -293,9 +323,12 @@ class Shard:
         simulate_paging: bool = False,
         track_power_history: bool = False,
         capabilities: Optional[set] = None,
+        jid: Optional[str] = None,
     ) -> SimulatedDevice:
         """Enroll one phone, optionally with a generated user world."""
-        jid = self.admin.enroll_device(capabilities or {"wifi", "battery", "location"})
+        jid = self.admin.enroll_device(
+            capabilities or {"wifi", "battery", "location"}, jid=jid
+        )
         phone = Phone(
             self.kernel,
             name=jid,
@@ -414,9 +447,12 @@ class Shard:
         self.server.egress = self._queue_egress
 
     def _queue_egress(self, from_jid: str, to_jid: str, stanza: dict) -> None:
-        self._egress.append((from_jid, to_jid, stanza))
+        self._egress_seq += 1
+        self._egress.append(
+            Handoff(self.kernel.now, self._egress_seq, from_jid, to_jid, stanza)
+        )
 
-    def pending_cross_shard(self) -> List[Tuple[str, str, dict]]:
+    def pending_cross_shard(self) -> List[Handoff]:
         """Drain and return the stanzas queued for other shards."""
         pending, self._egress = self._egress, []
         return pending
@@ -424,17 +460,62 @@ class Shard:
     def ingress(self, handoffs) -> int:
         """Replay cross-shard handoffs into this shard's switchboard.
 
-        Each handoff is ``(from_jid, to_jid, stanza)`` as produced by
-        another shard's :meth:`pending_cross_shard`.  Returns the number
-        replayed.
-        """
-        count = 0
-        for from_jid, to_jid, stanza in handoffs:
-            self.server.ingress(from_jid, to_jid, stanza)
-            count += 1
-        return count
+        Each handoff is a :class:`Handoff` as produced by another shard's
+        :meth:`pending_cross_shard` (a bare ``(from_jid, to_jid, stanza)``
+        triple is also accepted and delivered one switchboard latency
+        from now).  Handoff records are replayed due at their original
+        ``submit_ms`` plus the switchboard latency, so the cross-shard
+        leg costs exactly what a local route would.
 
-    def run_until_epoch(self, epoch_ms: float) -> List[Tuple[str, str, dict]]:
+        Every destination is validated *before* anything is scheduled: a
+        JID this shard does not host raises a descriptive
+        :class:`~repro.net.xmpp.RoutingError` and the whole batch is
+        rejected, rather than silently dropping (or partially applying)
+        misrouted traffic.  Returns the number replayed.
+        """
+        from ..net.xmpp import RoutingError
+
+        records = []
+        for handoff in handoffs:
+            if isinstance(handoff, Handoff):
+                records.append(handoff)
+            else:
+                from_jid, to_jid, stanza = handoff
+                records.append(Handoff(None, 0, from_jid, to_jid, stanza))
+        unknown = sorted(
+            {r.to_jid for r in records if not self.server.registered(r.to_jid)}
+        )
+        if unknown:
+            raise RoutingError(
+                f"shard {self.shard_id!r} does not host "
+                f"{', '.join(unknown)}: the coordinator routed "
+                f"{len(unknown)} of {len(records)} handoffs to the wrong "
+                f"shard (no stanza was replayed)"
+            )
+        for record in records:
+            stanza = record.stanza
+            # Presence crossing the boundary is server-internal, never
+            # submit()-stamped — data stanzas always carry "_from".
+            presence = stanza.get("kind") == "presence" and "_from" not in stanza
+            if record.submit_ms is None:
+                if presence:
+                    self.server.presence_at(
+                        record.to_jid, stanza,
+                        self.kernel.now + self.server.latency_ms,
+                    )
+                else:
+                    self.server.ingress(record.from_jid, record.to_jid, stanza)
+                continue
+            due_ms = record.submit_ms + self.server.latency_ms
+            if presence:
+                self.server.presence_at(record.to_jid, stanza, due_ms)
+            else:
+                self.server.ingress_at(
+                    record.from_jid, record.to_jid, stanza, due_ms
+                )
+        return len(records)
+
+    def run_until_epoch(self, epoch_ms: float) -> List[Handoff]:
         """Run to the epoch barrier; return the queued cross-shard stanzas.
 
         The conservative time-windowed sync PR 7's multiprocess fleet
@@ -498,41 +579,20 @@ class Shard:
 
 
 # ---------------------------------------------------------------------------
-# Spawn workers (module-level: importable under multiprocessing 'spawn')
+# Spawn workers — the implementations moved to repro.fleet.worker, the
+# single spawn-safe entry point shared by the fleet coordinator and the
+# one-shot subprocess helpers.  These names stay as thin shims.
 # ---------------------------------------------------------------------------
 
 def run_battery_monitor_hour(spec: ShardSpec, hours: float = 1.0) -> Dict[str, str]:
-    """Build a shard from ``spec``, run the Table 3 battery-monitor
-    workload for ``hours``, and return its canonical artifacts.
+    """Shim for :func:`repro.fleet.worker.run_battery_monitor_hour`."""
+    from ..fleet.worker import run_battery_monitor_hour as impl
 
-    The returned dict has ``report`` (:meth:`Shard.fleet_report_json`)
-    and ``trace_jsonl`` (the deterministic span export).  Running this in
-    the parent and in a spawned subprocess must produce byte-identical
-    values — the CI smoke job gates on it.
-    """
-    from ..analysis.export import spans_to_jsonl
-    from ..apps import battery_monitor
-
-    shard = Shard(spec)
-    if not shard.collectors:
-        shard.add_collector("spawn")
-    collector = shard.collectors[sorted(shard.collectors)[0]]
-    device_jids = sorted(shard.devices)
-    shard.start()
-    shard.assign(collector, [shard.devices[jid] for jid in device_jids])
-    collector.node.deploy(battery_monitor.build_experiment(), device_jids)
-    shard.run(hours=hours)
-    return {
-        "report": shard.fleet_report_json(),
-        "trace_jsonl": spans_to_jsonl(shard.kernel.spans) or "",
-    }
+    return impl(spec, hours)
 
 
 def run_spec_in_subprocess(spec: ShardSpec, hours: float = 1.0) -> Dict[str, str]:
-    """Pickle ``spec`` into a fresh ``spawn`` interpreter, run
-    :func:`run_battery_monitor_hour` there, and return its result."""
-    import multiprocessing
+    """Shim for :func:`repro.fleet.worker.run_spec_in_subprocess`."""
+    from ..fleet.worker import run_spec_in_subprocess as impl
 
-    context = multiprocessing.get_context("spawn")
-    with context.Pool(1) as pool:
-        return pool.apply(run_battery_monitor_hour, (spec, hours))
+    return impl(spec, hours)

@@ -79,9 +79,22 @@ class TestbedAdmin:
         capabilities: Optional[Set[str]] = None,
         region: Optional[str] = None,
         attributes: Optional[Dict[str, str]] = None,
+        jid: Optional[str] = None,
     ) -> str:
-        """A phone joins the pool; returns its pseudonymous JID."""
-        jid = f"device-{next(self._device_ids)}@pogo"
+        """A phone joins the pool; returns its pseudonymous JID.
+
+        ``jid`` pins an explicit identifier — the fleet partitioner uses
+        this to keep the *global* device numbering on every shard, so a
+        partitioned run draws the same per-device random streams as the
+        single-shard one.  Without it the per-admin counter assigns the
+        next free ``device-N@pogo``.
+        """
+        if jid is None:
+            jid = f"device-{next(self._device_ids)}@pogo"
+            while self.server.registered(jid):
+                jid = f"device-{next(self._device_ids)}@pogo"
+        elif self.server.registered(jid) or jid in self.devices:
+            raise AssignmentError(f"JID already enrolled: {jid}")
         self.server.register(jid)
         self.devices[jid] = DeviceRecord(
             jid, set(capabilities or ()), region=region, attributes=dict(attributes or {})

@@ -1,0 +1,38 @@
+"""Multiprocess fleet execution: one simulation, K shard workers.
+
+ROADMAP item 1: the single-process kernel hits a throughput cliff around
+500 devices.  This package partitions one fleet across worker processes
+— each driving its own :class:`~repro.core.shard.Shard` — and keeps the
+merged result byte-identical to the single-shard run for the same seed:
+
+* :mod:`repro.fleet.partition` — split a root :class:`ShardSpec` into K
+  per-shard specs with deterministic device→shard assignment and the
+  global JID numbering pinned (per-device random streams are keyed by
+  JID, so every shard draws exactly the single-shard randomness).
+* :mod:`repro.fleet.worker` — the spawn-safe worker loop: advance the
+  shard to each epoch barrier, ship ``pending_cross_shard()`` handoffs
+  up the pipe, block until the coordinator grants the next window.
+* :mod:`repro.fleet.coordinator` — conservative time-windowed
+  synchronization: epoch length bounded by the minimum cross-shard
+  stanza latency, deterministic sorted handoff exchange at each barrier,
+  quiescence detection, clean errors on worker crashes.
+* :mod:`repro.fleet.merge` — combine per-shard fleet reports, metrics
+  planes and span traces into one canonical report.
+"""
+
+from .coordinator import FleetError, FleetResult, WorkerCrashed, run_fleet
+from .merge import merge_fleet_reports, merge_metrics, merge_trace_jsonl
+from .partition import FleetPlan, fleet_spec, plan_fleet
+
+__all__ = [
+    "FleetError",
+    "FleetPlan",
+    "FleetResult",
+    "WorkerCrashed",
+    "fleet_spec",
+    "merge_fleet_reports",
+    "merge_metrics",
+    "merge_trace_jsonl",
+    "plan_fleet",
+    "run_fleet",
+]

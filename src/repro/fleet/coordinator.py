@@ -1,0 +1,353 @@
+"""The fleet coordinator: conservative epoch-barrier synchronization.
+
+One simulation, K shards, each advanced in lockstep windows:
+
+* **Barrier math.**  The epoch length L must satisfy ``0 < L ≤ min
+  cross-shard stanza latency`` (the switchboard's base latency, 80 ms by
+  default — every cross-shard stanza spends at least that long on the
+  wire).  A handoff submitted at time *s* inside the window ``(B−L, B]``
+  is exchanged at barrier *B* and is due at ``s + latency > B`` — always
+  strictly in the receiver's future, so delivering it before the next
+  window starts reproduces the solo schedule exactly.
+* **Lookahead.**  Workers report their next-event time at every barrier;
+  the next barrier is placed one epoch after the earliest thing that can
+  happen anywhere (first local event or first pending handoff delivery),
+  so idle stretches cost one window, not thousands.  When every shard is
+  idle and no handoffs are in flight the fleet is quiescent and jumps
+  straight to the horizon.
+* **Determinism.**  Handoffs collected at a barrier are delivered in
+  sorted ``(submit_ms, from_jid, seq)`` order — a total order (a JID
+  lives on exactly one shard; ``seq`` is that shard's egress counter) —
+  so the receiver schedules them identically no matter which worker
+  answered first.
+* **Failures.**  A worker that dies, raises, or stops responding turns
+  into :class:`WorkerCrashed`/:class:`FleetError` with the worker's
+  traceback or exit code; every other worker is torn down. No hangs.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass
+from time import perf_counter, process_time
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..core.shard import Handoff, Shard, ShardSpec
+from ..sim.kernel import HOUR
+from .merge import merge_fleet_reports, merge_metrics, merge_trace_jsonl, report_to_json
+from .partition import FleetPlan, fleet_spec, plan_fleet
+from .worker import (
+    WORKLOADS,
+    WorkerCrashed,
+    collect_artifacts,
+    fleet_worker_main,
+)
+
+
+class FleetError(RuntimeError):
+    """A coordinator-level failure (bad epoch, misrouted handoff, …)."""
+
+
+@dataclass
+class FleetResult:
+    """The merged outcome of one partitioned run."""
+
+    report: Dict[str, Any]
+    report_json: str
+    metrics: Dict[str, Any]
+    trace_jsonl: str
+    shard_reports: Tuple[Dict[str, Any], ...]
+    devices: int
+    shards: int
+    epoch_ms: float
+    barriers: int
+    handoffs: int
+    wall_s: float
+    #: CPU time of the busiest worker (ingress + run_until_epoch, no
+    #: barrier waits) — the fleet's wall time once every worker has its
+    #: own core.  On a single-core host ``wall_s`` serializes the
+    #: workers; this is the parallel capacity the layout actually has.
+    critical_path_s: float = 0.0
+
+    @property
+    def events(self) -> int:
+        return self.report["events_executed"]
+
+
+def _handoff_sort_key(handoff: Handoff):
+    return (handoff.submit_ms, handoff.from_jid, handoff.seq)
+
+
+# ---------------------------------------------------------------------------
+# Worker handles: same protocol in-process and across a pipe
+# ---------------------------------------------------------------------------
+
+class _LocalWorker:
+    """Drives a shard in this process — the coordinator's fast path for
+    tests and small fleets, bit-identical to the process form."""
+
+    def __init__(self, spec: ShardSpec, workload: str, fleet_ctx) -> None:
+        self.shard_id = spec.shard_id
+        self.shard = Shard(spec)
+        self.shard.open_boundary()
+        WORKLOADS[workload](self.shard, fleet_ctx)
+        self._pending: Optional[Tuple[List[Handoff], Optional[float]]] = None
+        self._busy_s = 0.0
+
+    def ready(self) -> Tuple[float, Optional[float], List[Handoff]]:
+        return (
+            self.shard.server.latency_ms,
+            self.shard.kernel.next_event_time(),
+            self.shard.pending_cross_shard(),
+        )
+
+    def post_advance(self, barrier_ms: float, handoffs: List[Handoff]) -> None:
+        t0 = process_time()
+        if handoffs:
+            self.shard.ingress(handoffs)
+        out = self.shard.run_until_epoch(barrier_ms)
+        self._busy_s += process_time() - t0
+        self._pending = (out, self.shard.kernel.next_event_time())
+
+    def wait_barrier(self) -> Tuple[List[Handoff], Optional[float]]:
+        pending, self._pending = self._pending, None
+        return pending
+
+    def post_finish(self) -> None:
+        pass
+
+    def wait_result(self) -> Dict[str, Any]:
+        return collect_artifacts(self.shard, self._busy_s)
+
+    def close(self) -> None:
+        pass
+
+
+class _ProcessWorker:
+    """One spawned worker process behind a duplex pipe."""
+
+    def __init__(
+        self, spec: ShardSpec, workload: str, fleet_ctx, context, timeout_s: float
+    ) -> None:
+        self.shard_id = spec.shard_id
+        self.timeout_s = timeout_s
+        self.conn, child = context.Pipe()
+        self.process = context.Process(
+            target=fleet_worker_main,
+            args=(child, spec, workload, fleet_ctx),
+            name=f"fleet-{spec.shard_id}",
+            daemon=True,
+        )
+        self.process.start()
+        child.close()
+
+    def _recv(self):
+        try:
+            if not self.conn.poll(self.timeout_s):
+                raise WorkerCrashed(
+                    f"worker {self.shard_id} produced nothing for "
+                    f"{self.timeout_s:.0f}s — presumed hung"
+                )
+            message = self.conn.recv()
+        except (EOFError, OSError) as exc:
+            self.process.join(timeout=5.0)
+            raise WorkerCrashed(
+                f"worker {self.shard_id} died with exit code "
+                f"{self.process.exitcode}"
+            ) from exc
+        if message[0] == "error":
+            raise WorkerCrashed(f"worker {self.shard_id} raised:\n{message[1]}")
+        return message
+
+    def ready(self) -> Tuple[float, Optional[float], List[Handoff]]:
+        # ("ready", shard_id, latency_ms, next_event, handoffs)
+        message = self._recv()
+        return message[2], message[3], message[4]
+
+    def post_advance(self, barrier_ms: float, handoffs: List[Handoff]) -> None:
+        self.conn.send(("advance", barrier_ms, handoffs))
+
+    def wait_barrier(self) -> Tuple[List[Handoff], Optional[float]]:
+        message = self._recv()  # ("barrier", handoffs, next_event)
+        return message[1], message[2]
+
+    def post_finish(self) -> None:
+        self.conn.send(("finish",))
+
+    def wait_result(self) -> Dict[str, Any]:
+        return self._recv()[1]  # ("result", artifacts)
+
+    def close(self) -> None:
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+        if self.process.is_alive():
+            self.process.terminate()
+        self.process.join(timeout=5.0)
+
+
+# ---------------------------------------------------------------------------
+# The coordinator
+# ---------------------------------------------------------------------------
+
+def run_fleet(
+    devices: Optional[int] = None,
+    shards: int = 1,
+    *,
+    spec: Optional[ShardSpec] = None,
+    seed: int = 0,
+    hours: Optional[float] = None,
+    duration_ms: Optional[float] = None,
+    epoch_ms: Optional[float] = None,
+    workload: str = "battery-monitor",
+    collector: str = "fleet",
+    fleet_id: str = "fleet",
+    spans: bool = True,
+    metrics: bool = True,
+    processes: bool = True,
+    barrier_timeout_s: float = 600.0,
+) -> FleetResult:
+    """Run one fleet partitioned across ``shards`` workers and merge.
+
+    Pass either ``devices`` (a homogeneous battery-monitor fleet is
+    built via :func:`fleet_spec`) or a full root ``spec``.  With
+    ``processes=False`` the shards run in this process behind the same
+    barrier protocol — byte-identical results, no spawn cost; the
+    property tests use it.  ``epoch_ms`` defaults to the maximum safe
+    value (the minimum cross-shard stanza latency reported by the
+    workers); anything larger is rejected.
+    """
+    if spec is None:
+        if devices is None:
+            raise FleetError("pass a device count or a root ShardSpec")
+        spec = fleet_spec(
+            devices, seed=seed, collector=collector, shard_id=fleet_id,
+            spans=spans, metrics=metrics,
+        )
+    if workload not in WORKLOADS:
+        raise FleetError(
+            f"unknown workload {workload!r}; have {sorted(WORKLOADS)}"
+        )
+    plan = plan_fleet(spec, shards)
+    if hours is None and duration_ms is None:
+        hours = 1.0
+    total_ms = float(duration_ms if duration_ms is not None else hours * HOUR)
+    if total_ms <= 0:
+        raise FleetError(f"duration must be positive, got {total_ms} ms")
+
+    fleet_ctx = {
+        "deploy_jids": plan.device_jids,
+        "collector_jids": plan.collector_jids,
+    }
+    wall_start = perf_counter()
+    workers: List[Any] = []
+    try:
+        if processes and plan.n_shards > 1:
+            context = multiprocessing.get_context("spawn")
+            workers = [
+                _ProcessWorker(
+                    shard_spec, workload, fleet_ctx, context, barrier_timeout_s
+                )
+                for shard_spec in plan.shards
+            ]
+        else:
+            workers = [
+                _LocalWorker(shard_spec, workload, fleet_ctx)
+                for shard_spec in plan.shards
+            ]
+        readies = [worker.ready() for worker in workers]
+        min_latency = min(latency for latency, _, _ in readies)
+        epoch = float(epoch_ms) if epoch_ms is not None else min_latency
+        if not 0 < epoch <= min_latency:
+            raise FleetError(
+                f"epoch must be in (0, {min_latency}] ms — the minimum "
+                f"cross-shard stanza latency bounds the barrier window — "
+                f"got {epoch} ms"
+            )
+
+        next_events = [next_event for _, next_event, _ in readies]
+        # Anything egressed during workload setup (time zero) is routed
+        # with the first window grant, so receivers schedule it exactly
+        # where the solo run would have.
+        setup_handoffs: List[Handoff] = []
+        for _, _, initial in readies:
+            setup_handoffs.extend(initial)
+        setup_handoffs.sort(key=_handoff_sort_key)
+        outbox: List[List[Handoff]] = [[] for _ in workers]
+        for handoff in setup_handoffs:
+            outbox[plan.owner_of(handoff.to_jid)].append(handoff)
+        handoffs_total = len(setup_handoffs)
+        now = 0.0
+        barriers = 0
+
+        def exchange(barrier: float) -> None:
+            """Grant the window ending at ``barrier`` to every worker,
+            then collect, totally order, and route the handoffs."""
+            nonlocal outbox, next_events, handoffs_total, barriers
+            for index, worker in enumerate(workers):
+                worker.post_advance(barrier, outbox[index])
+            results = [worker.wait_barrier() for worker in workers]
+            collected: List[Handoff] = []
+            for out, _ in results:
+                collected.extend(out)
+            collected.sort(key=_handoff_sort_key)
+            outbox = [[] for _ in workers]
+            for handoff in collected:
+                outbox[plan.owner_of(handoff.to_jid)].append(handoff)
+            handoffs_total += len(collected)
+            next_events = [next_event for _, next_event in results]
+            barriers += 1
+
+        while now < total_ms:
+            wakeups = [t for t in next_events if t is not None]
+            wakeups.extend(
+                handoff.submit_ms + min_latency
+                for granted in outbox
+                for handoff in granted
+            )
+            if not wakeups:
+                barrier = total_ms  # quiescent: nothing can ever happen again
+            else:
+                barrier = min(total_ms, max(now, min(wakeups)) + epoch)
+            exchange(barrier)
+            now = barrier
+
+        # Horizon drain: handoffs collected at the final barrier can be
+        # due at or before the horizon (``run_until`` executes events at
+        # exactly T), and executing them can egress more.  Keep draining
+        # zero-length windows until nothing new crosses; afterwards the
+        # receivers' heaps hold the same still-due entries the solo run
+        # would hold at T.
+        while any(outbox):
+            exchange(total_ms)
+
+        for worker in workers:
+            worker.post_finish()
+        artifacts = [worker.wait_result() for worker in workers]
+    finally:
+        for worker in workers:
+            worker.close()
+
+    wall_s = perf_counter() - wall_start
+    report = merge_fleet_reports(
+        [artifact["report"] for artifact in artifacts], fleet_id=plan.root.shard_id
+    )
+    return FleetResult(
+        report=report,
+        report_json=report_to_json(report),
+        metrics=merge_metrics([artifact["metrics"] for artifact in artifacts]),
+        trace_jsonl=merge_trace_jsonl(
+            [(artifact["shard_id"], artifact["trace_jsonl"]) for artifact in artifacts]
+        ),
+        shard_reports=tuple(artifact["report"] for artifact in artifacts),
+        devices=len(plan.device_jids),
+        shards=plan.n_shards,
+        epoch_ms=epoch,
+        barriers=barriers,
+        handoffs=handoffs_total,
+        wall_s=wall_s,
+        critical_path_s=max(
+            artifact.get("busy_s", 0.0) for artifact in artifacts
+        ),
+    )

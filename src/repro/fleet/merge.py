@@ -1,0 +1,152 @@
+"""Merging per-shard artifacts into one canonical fleet view.
+
+The merged fleet report must be byte-identical to the report the same
+fleet produces in a single shard — that is the whole correctness claim
+of the coordinator, and both the hypothesis property test and the CI
+fleet-determinism job compare the bytes.  The merge itself is therefore
+deliberately boring: disjoint unions for per-JID tables, sums for the
+conserved counters, and hard errors on anything that should be
+impossible (overlapping JIDs, shards disagreeing on the clock or seed).
+
+Why plain sums are exact:
+
+* every stanza is routed by exactly one switchboard — the destination's
+  (egress on the sender counts in ``stanzas_egressed``, which the
+  report intentionally omits) — so ``stanzas_routed`` / ``_lost`` /
+  ``_stored_offline`` partition across shards;
+* a cross-shard send costs the sender shard zero kernel events (egress
+  is synchronous inside the submitting event) and the receiver exactly
+  the one ``_route`` event the solo run would have executed, so
+  ``events_executed`` partitions too.
+
+Metrics planes merge the same way (counters and gauges sum, histograms
+combine count/sum/min/max with the mean recomputed).  Span traces merge
+into one JSONL stream with a ``shard`` field added to every line —
+span ids are only unique per shard, so the shard id is part of the
+merged identity.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Sequence, Tuple
+
+
+class MergeError(ValueError):
+    """Per-shard artifacts that cannot form one consistent fleet view."""
+
+
+def merge_fleet_reports(
+    reports: Sequence[Dict[str, Any]], fleet_id: str
+) -> Dict[str, Any]:
+    """Combine per-shard :meth:`Shard.fleet_report` dicts into one.
+
+    The result has exactly the single-shard schema, with ``shard`` set
+    to ``fleet_id`` — compare it against a solo run built with the same
+    shard id.
+    """
+    if not reports:
+        raise MergeError("no shard reports to merge")
+    devices: Dict[str, Any] = {}
+    collectors: Dict[str, Any] = {}
+    events = 0
+    server = {"stanzas_lost": 0, "stanzas_routed": 0, "stanzas_stored_offline": 0}
+    clocks = set()
+    seeds = set()
+    for report in reports:
+        for jid, entry in report["devices"].items():
+            if jid in devices:
+                raise MergeError(f"device {jid} reported by more than one shard")
+            devices[jid] = entry
+        for jid, entry in report["collectors"].items():
+            if jid in collectors:
+                raise MergeError(f"collector {jid} reported by more than one shard")
+            collectors[jid] = entry
+        events += report["events_executed"]
+        clocks.add(report["now_ms"])
+        seeds.add(report["seed"])
+        for key in server:
+            server[key] += report["server"][key]
+    if len(clocks) != 1:
+        raise MergeError(
+            f"shards disagree on the clock at merge time: {sorted(clocks)} — "
+            "a worker did not reach the final barrier"
+        )
+    if len(seeds) != 1:
+        raise MergeError(f"shards were built from different seeds: {sorted(seeds)}")
+    return {
+        "collectors": {jid: collectors[jid] for jid in sorted(collectors)},
+        "devices": {jid: devices[jid] for jid in sorted(devices)},
+        "events_executed": events,
+        "now_ms": clocks.pop(),
+        "seed": seeds.pop(),
+        "server": server,
+        "shard": fleet_id,
+    }
+
+
+def report_to_json(report: Dict[str, Any]) -> str:
+    """Same canonical encoding as :meth:`Shard.fleet_report_json`."""
+    return json.dumps(report, sort_keys=True, indent=2) + "\n"
+
+
+def merge_metrics(snapshots: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
+    """Combine per-shard :meth:`MetricsRegistry.snapshot` dicts.
+
+    Scalars (counters and gauges) sum; histograms combine count/sum/
+    min/max with the mean recomputed from the merged totals.
+    """
+    merged: Dict[str, Any] = {}
+    for snapshot in snapshots:
+        for name, value in snapshot.items():
+            if isinstance(value, dict):
+                slot = merged.setdefault(
+                    name, {"count": 0, "sum": 0.0, "min": None, "max": None}
+                )
+                slot["count"] += value["count"]
+                slot["sum"] += value["sum"]
+                for key, pick in (("min", min), ("max", max)):
+                    if value[key] is not None:
+                        slot[key] = (
+                            value[key]
+                            if slot[key] is None
+                            else pick(slot[key], value[key])
+                        )
+            else:
+                merged[name] = merged.get(name, 0) + value
+    for value in merged.values():
+        if isinstance(value, dict):
+            value["mean"] = (
+                round(value["sum"] / value["count"], 3) if value["count"] else 0.0
+            )
+    return {name: merged[name] for name in sorted(merged)}
+
+
+def merge_trace_jsonl(traces: Sequence[Tuple[str, str]]) -> str:
+    """Merge per-shard span-trace JSONL exports into one stream.
+
+    ``traces`` is ``(shard_id, jsonl_text)`` pairs.  Every line gains a
+    ``shard`` field (span ids are per-shard), and the merged stream is
+    ordered by ``(start_ms, end_ms, shard, span)`` — a total order, so
+    the merged trace is byte-deterministic whatever the worker layout.
+    """
+    spans: List[Tuple[float, float, str, int, str]] = []
+    for shard_id, text in traces:
+        for line in text.splitlines():
+            if not line:
+                continue
+            record = json.loads(line)
+            record["shard"] = shard_id
+            spans.append(
+                (
+                    record.get("start_ms", 0.0),
+                    record.get("end_ms", 0.0),
+                    shard_id,
+                    record.get("span", 0),
+                    json.dumps(record, sort_keys=True, separators=(",", ":")),
+                )
+            )
+    spans.sort(key=lambda item: item[:4])
+    if not spans:
+        return ""
+    return "\n".join(item[4] for item in spans) + "\n"

@@ -1,0 +1,253 @@
+"""The spawn-safe shard worker: one process, one Shard, one pipe.
+
+Everything here is module-level and picklable-by-reference, so it works
+under the ``spawn`` start method (a fresh interpreter that re-imports
+this module).  Two entry points share the plumbing:
+
+* :func:`fleet_worker_main` — the coordinator's worker loop: build the
+  shard from its spec, open the cross-shard boundary, install the
+  workload, then serve ``advance``/``finish`` commands over the pipe
+  until told to stop.  Each ``advance`` ingresses the handoffs granted
+  at the barrier, runs to the next barrier via
+  :meth:`~repro.core.shard.Shard.run_until_epoch`, and ships the newly
+  queued handoffs (plus the shard's next-event time, for the
+  coordinator's lookahead) back up the pipe.
+* :func:`run_spec_in_subprocess` — the one-shot form: run a whole
+  workload in a single spawned worker and return its artifacts.  This
+  subsumes the helpers that used to live in ``repro.core.shard`` (the
+  old names remain there as shims).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import traceback
+from typing import Any, Dict, Iterable, Optional, Sequence
+
+from ..core.shard import Shard, ShardSpec
+
+
+class WorkerCrashed(RuntimeError):
+    """A worker process died, raised an exception, or stopped responding."""
+
+
+# ---------------------------------------------------------------------------
+# Workloads
+# ---------------------------------------------------------------------------
+
+def setup_battery_monitor(
+    shard: Shard, fleet_ctx: Optional[Dict[str, Any]] = None
+) -> None:
+    """Start ``shard`` and deploy the Table 3 battery-monitor workload.
+
+    Solo (``fleet_ctx=None``): deploy to the shard's own devices.
+
+    Partitioned: ``fleet_ctx`` carries the *global* roster —
+    ``deploy_jids`` (every device in the fleet) and ``collector_jids``.
+    The collector's shard deploys to all of them, and remote
+    assignments become one-sided roster edges
+    (:meth:`XmppServer.add_remote_roster`) on both shards so presence
+    crosses the boundary exactly as the solo run delivers it locally.
+    """
+    from ..apps import battery_monitor
+
+    shard.start()
+    local_jids = sorted(shard.devices)
+    names = sorted(shard.collectors)
+    if fleet_ctx is None:
+        if not names:
+            return
+        collector = shard.collectors[names[0]]
+        shard.assign(collector, [shard.devices[jid] for jid in local_jids])
+        collector.node.deploy(battery_monitor.build_experiment(), local_jids)
+        return
+    if not fleet_ctx["collector_jids"]:
+        return
+    collector_jid = fleet_ctx["collector_jids"][0]
+    targets = sorted(fleet_ctx["deploy_jids"])
+    if names:
+        collector = shard.collectors[names[0]]
+        shard.assign(collector, [shard.devices[jid] for jid in local_jids])
+        for jid in targets:
+            if jid not in shard.devices:
+                shard.server.add_remote_roster(collector_jid, jid)
+        collector.node.deploy(battery_monitor.build_experiment(), targets)
+    else:
+        for jid in local_jids:
+            shard.server.add_remote_roster(jid, collector_jid)
+
+
+#: Workload name → setup callable, looked up by the worker loop.  Names,
+#: not callables, cross the pipe — the registry keeps spawn picklability
+#: trivial and gives misconfiguration a clean error.
+WORKLOADS = {
+    "battery-monitor": setup_battery_monitor,
+}
+
+
+def collect_artifacts(shard: Shard, busy_s: float = 0.0) -> Dict[str, Any]:
+    """The per-shard outputs the merger combines: canonical report,
+    metrics snapshot, and the deterministic span-trace export.
+
+    ``busy_s`` is the wall time this worker spent advancing its shard
+    (ingress + ``run_until_epoch``), excluding barrier waits.  The
+    maximum across workers is the coordinator's critical path — the
+    fleet's wall time once every worker has its own core.
+    """
+    from ..analysis.export import spans_to_jsonl
+
+    return {
+        "shard_id": shard.shard_id,
+        "report": shard.fleet_report(),
+        "metrics": shard.kernel.metrics.snapshot(),
+        "trace_jsonl": spans_to_jsonl(shard.kernel.spans) or "",
+        "busy_s": busy_s,
+    }
+
+
+# ---------------------------------------------------------------------------
+# The coordinator's worker loop
+# ---------------------------------------------------------------------------
+
+def fleet_worker_main(
+    conn,
+    spec: ShardSpec,
+    workload: str,
+    fleet_ctx: Optional[Dict[str, Any]],
+) -> None:
+    """Serve one shard over ``conn`` until the coordinator says finish.
+
+    Protocol (coordinator → worker / worker → coordinator):
+
+    * ← ``("ready", shard_id, latency_ms, next_event_time, handoffs)``
+      once the shard is built; ``handoffs`` is anything the workload
+      setup egressed at time zero (e.g. the deploy fan-out), so the
+      coordinator can deliver it with the *first* window grant and
+      receivers schedule it exactly where the solo run would.
+    * → ``("advance", barrier_ms, handoffs)``: ingress the granted
+      handoffs, run to the barrier.
+      ← ``("barrier", out_handoffs, next_event_time)``
+    * → ``("finish",)``  ← ``("result", artifacts)``
+    * Any exception ← ``("error", traceback_text)`` and the loop exits.
+    """
+    # CPU time, not wall: on an oversubscribed host a worker's window
+    # wall time includes the other workers' time slices, which would
+    # inflate the critical path it reports.
+    from time import process_time
+
+    try:
+        setup = WORKLOADS[workload]
+        shard = Shard(spec)
+        shard.open_boundary()
+        setup(shard, fleet_ctx)
+        busy_s = 0.0
+        conn.send(
+            ("ready", shard.shard_id, shard.server.latency_ms,
+             shard.kernel.next_event_time(), shard.pending_cross_shard())
+        )
+        while True:
+            message = conn.recv()
+            op = message[0]
+            if op == "advance":
+                barrier_ms, handoffs = message[1], message[2]
+                t0 = process_time()
+                if handoffs:
+                    shard.ingress(handoffs)
+                out = shard.run_until_epoch(barrier_ms)
+                busy_s += process_time() - t0
+                conn.send(("barrier", out, shard.kernel.next_event_time()))
+            elif op == "finish":
+                conn.send(("result", collect_artifacts(shard, busy_s)))
+                return
+            else:
+                raise ValueError(f"unknown coordinator op: {op!r}")
+    except BaseException:
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except (OSError, ValueError):
+            pass  # coordinator already gone; exit code tells the story
+    finally:
+        conn.close()
+
+
+# ---------------------------------------------------------------------------
+# One-shot subprocess execution
+# ---------------------------------------------------------------------------
+
+def run_battery_monitor_hour(spec: ShardSpec, hours: float = 1.0) -> Dict[str, str]:
+    """Build a shard from ``spec``, run the Table 3 battery-monitor
+    workload for ``hours``, and return its canonical artifacts.
+
+    The returned dict has ``report`` (:meth:`Shard.fleet_report_json`)
+    and ``trace_jsonl`` (the deterministic span export).  Running this in
+    the parent and in a spawned subprocess must produce byte-identical
+    values — the CI smoke job gates on it.
+    """
+    from ..analysis.export import spans_to_jsonl
+
+    shard = Shard(spec)
+    if not shard.collectors:
+        shard.add_collector("spawn")
+    setup_battery_monitor(shard)
+    shard.run(hours=hours)
+    return {
+        "report": shard.fleet_report_json(),
+        "trace_jsonl": spans_to_jsonl(shard.kernel.spans) or "",
+    }
+
+
+def _subprocess_entry(conn, fn, args) -> None:
+    try:
+        result = fn(*args)
+    except BaseException:
+        try:
+            conn.send(("error", traceback.format_exc()))
+        finally:
+            conn.close()
+        return
+    conn.send(("ok", result))
+    conn.close()
+
+
+def call_in_subprocess(fn, *args, timeout_s: float = 600.0):
+    """Run ``fn(*args)`` in a fresh ``spawn`` interpreter and return its
+    result, raising :class:`WorkerCrashed` on death or timeout.
+
+    ``fn`` must be a module-level callable and every argument picklable —
+    the same contract the fleet workers live under.
+    """
+    context = multiprocessing.get_context("spawn")
+    parent, child = context.Pipe()
+    process = context.Process(
+        target=_subprocess_entry, args=(child, fn, args), daemon=True
+    )
+    process.start()
+    child.close()
+    try:
+        try:
+            if not parent.poll(timeout_s):
+                raise WorkerCrashed(
+                    f"subprocess running {fn.__name__} produced no result "
+                    f"within {timeout_s:.0f}s"
+                )
+            kind, payload = parent.recv()
+        except EOFError:
+            process.join(timeout=5.0)
+            raise WorkerCrashed(
+                f"subprocess running {fn.__name__} died with exit code "
+                f"{process.exitcode} before sending a result"
+            ) from None
+    finally:
+        parent.close()
+        if process.is_alive():
+            process.terminate()
+        process.join(timeout=5.0)
+    if kind == "error":
+        raise WorkerCrashed(f"subprocess running {fn.__name__} raised:\n{payload}")
+    return payload
+
+
+def run_spec_in_subprocess(spec: ShardSpec, hours: float = 1.0) -> Dict[str, str]:
+    """Pickle ``spec`` into a fresh ``spawn`` interpreter, run
+    :func:`run_battery_monitor_hour` there, and return its result."""
+    return call_in_subprocess(run_battery_monitor_hour, spec, hours)

@@ -178,6 +178,21 @@ class XmppServer:
         self._rosters[a].add(b)
         self._rosters[b].add(a)
 
+    def add_remote_roster(self, local_jid: str, remote_jid: str) -> None:
+        """Roster edge to a JID another shard hosts (a federated assign).
+
+        Only the local half of the pair is recorded — the remote server
+        keeps the mirror edge.  Presence for ``local_jid`` then crosses
+        the boundary through ``egress`` instead of being dropped.
+        """
+        if local_jid not in self._accounts:
+            raise RoutingError(f"unknown JID: {local_jid}")
+        if remote_jid in self._accounts:
+            raise RoutingError(
+                f"{remote_jid} is hosted on this server; use add_roster_pair"
+            )
+        self._rosters[local_jid].add(remote_jid)
+
     def remove_roster_pair(self, a: str, b: str) -> None:
         self._rosters.get(a, set()).discard(b)
         self._rosters.get(b, set()).discard(a)
@@ -218,6 +233,12 @@ class XmppServer:
                     peer_session,
                     {"kind": "presence", "jid": jid, "available": True},
                 )
+            elif peer not in self._accounts and self.egress is not None:
+                # A remote roster peer (add_remote_roster): presence
+                # crosses the shard boundary and the owning server
+                # replays it via presence_at.
+                self.stanzas_egressed += 1
+                self.egress(jid, peer, {"kind": "presence", "jid": jid, "available": True})
         return session
 
     def disconnect(self, session: Session) -> None:
@@ -323,9 +344,63 @@ class XmppServer:
         sending side's responsibility — federated servers trust each
         other, as XMPP server-to-server links do.
         """
+        self.ingress_at(from_jid, to_jid, stanza, self.kernel.now + self.latency_ms)
+
+    def ingress_at(
+        self, from_jid: str, to_jid: str, stanza: dict, due_ms: float
+    ) -> None:
+        """Like :meth:`ingress`, but deliver at an absolute kernel time.
+
+        The fleet coordinator replays handoffs with their original submit
+        time so the cross-shard leg costs exactly ``latency_ms`` — the
+        same as a local route — making a partitioned run byte-identical
+        to the single-shard one.  ``due_ms`` must not be in this kernel's
+        past: a violation means the epoch barrier ran longer than the
+        minimum cross-shard latency, which would silently distort the
+        simulation, so it fails loudly here instead.
+        """
         if to_jid not in self._accounts:
             raise RoutingError(f"ingress for unknown local JID: {to_jid}")
-        self.kernel.schedule(self.latency_ms, self._route, from_jid, to_jid, stanza, None)
+        if due_ms < self.kernel.now:
+            raise RoutingError(
+                f"late cross-shard handoff for {to_jid}: due at {due_ms} ms "
+                f"but local clock is already {self.kernel.now} ms — the "
+                f"epoch barrier exceeded the minimum cross-shard latency "
+                f"({self.latency_ms} ms)"
+            )
+        # The routing span is recorded here, on the owning shard: the
+        # sender egressed before opening one, and its span ids are
+        # meaningless in this kernel anyway (parent stays 0).  Recovering
+        # the submit time keeps the span's extent identical to the local
+        # case.
+        route_ctx = (
+            (due_ms - self.latency_ms, 0) if self._spans.enabled else None
+        )
+        self.kernel.schedule_at(
+            due_ms, self._route, from_jid, to_jid, stanza, route_ctx
+        )
+
+    def presence_at(self, to_jid: str, stanza: dict, due_ms: float) -> None:
+        """Replay a cross-shard presence notification.
+
+        Presence is a server-internal delivery, not a routed stanza — it
+        goes straight into the peer's session exactly as :meth:`connect`
+        would have scheduled it locally, and does not touch the routing
+        counters.  The liveness check happens here (the sending shard
+        cannot see this session); if the session is gone the presence is
+        dropped, just as connect would never have scheduled it.
+        """
+        if to_jid not in self._accounts:
+            raise RoutingError(f"ingress for unknown local JID: {to_jid}")
+        if due_ms < self.kernel.now:
+            raise RoutingError(
+                f"late cross-shard presence for {to_jid}: due at {due_ms} ms "
+                f"but local clock is already {self.kernel.now} ms"
+            )
+        session = self._sessions.get(to_jid)
+        if session is None or not self._session_considered_alive(session):
+            return
+        self.kernel.schedule_at(due_ms, self._deliver_via, session, stanza)
 
     def _route_span(self, route_ctx, to_jid: str, outcome: str) -> None:
         if route_ctx is None or not self._spans.enabled:

@@ -1,0 +1,238 @@
+"""Unit tests for the fleet subsystem: partitioner, merger, epoch
+validation, ingress hardening, and worker-crash handling."""
+
+import json
+
+import pytest
+
+from repro.core.shard import DeviceSpec, Handoff, Shard, ShardSpec
+from repro.fleet import (
+    FleetError,
+    fleet_spec,
+    merge_fleet_reports,
+    merge_metrics,
+    merge_trace_jsonl,
+    plan_fleet,
+    run_fleet,
+)
+from repro.fleet.merge import MergeError, report_to_json
+from repro.fleet.partition import PartitionError, device_jid
+from repro.net.xmpp import RoutingError
+
+
+class TestPartitioner:
+    def test_round_robin_assignment_is_deterministic(self):
+        root = fleet_spec(10, seed=3)
+        plan = plan_fleet(root, 4)
+        assert plan.n_shards == 4
+        # device-1 -> shard 0, device-2 -> shard 1, ... (index mod K)
+        for index, jid in enumerate(plan.device_jids):
+            assert plan.owner_of(jid) == index % 4
+        again = plan_fleet(fleet_spec(10, seed=3), 4)
+        assert again.owners == plan.owners
+
+    def test_every_device_lands_on_exactly_one_shard(self):
+        plan = plan_fleet(fleet_spec(7, seed=0), 3)
+        seen = []
+        for shard_spec in plan.shards:
+            seen.extend(d.jid for d in shard_spec.devices)
+        assert sorted(seen) == sorted(plan.device_jids)
+        assert len(seen) == len(set(seen))
+
+    def test_collectors_live_on_shard_zero(self):
+        plan = plan_fleet(fleet_spec(4, seed=0), 2)
+        assert plan.shards[0].collectors
+        assert not plan.shards[1].collectors
+
+    def test_shard_jids_are_pinned_globally(self):
+        # Partitioned specs must pin the global JID numbering: shard 1 of
+        # two holds device-2, device-4, ... not device-1, device-2, ...
+        plan = plan_fleet(fleet_spec(4, seed=0), 2)
+        assert [d.jid for d in plan.shards[1].devices] == [
+            device_jid(1), device_jid(3),
+        ]
+
+    def test_rejects_bad_shard_counts(self):
+        root = fleet_spec(4, seed=0)
+        with pytest.raises(PartitionError):
+            plan_fleet(root, 0)
+        with pytest.raises(PartitionError):
+            plan_fleet(root, -2)
+
+    def test_owner_of_unknown_jid_raises(self):
+        plan = plan_fleet(fleet_spec(2, seed=0), 2)
+        with pytest.raises(PartitionError, match="nobody@pogo"):
+            plan.owner_of("nobody@pogo")
+
+
+class TestIngressHardening:
+    def _shard(self, devices=2):
+        spec = ShardSpec(
+            seed=5,
+            collectors=("lab",),
+            devices=tuple(
+                DeviceSpec(with_email_app=True) for _ in range(devices)
+            ),
+        )
+        shard = Shard(spec)
+        shard.start()
+        return shard
+
+    def test_unknown_recipient_names_the_jid_and_shard(self):
+        shard = self._shard()
+        with pytest.raises(RoutingError) as excinfo:
+            shard.ingress(
+                [Handoff(0.0, 1, "x@other", "ghost@pogo", {"type": "ping"})]
+            )
+        message = str(excinfo.value)
+        assert "ghost@pogo" in message
+        assert shard.shard_id in message
+
+    def test_misroute_is_rejected_before_any_replay(self):
+        # One good and one bad handoff: validation is all-or-nothing, so
+        # the good one must NOT have been scheduled.
+        shard = self._shard()
+        target = sorted(shard.devices)[0]
+        before = shard.kernel.pending_events
+        with pytest.raises(RoutingError, match="wrong shard"):
+            shard.ingress(
+                [
+                    Handoff(0.0, 1, "x@other", target, {"kind": "ack", "ack": 0}),
+                    Handoff(0.0, 2, "x@other", "ghost@pogo", {"type": "ping"}),
+                ]
+            )
+        assert shard.kernel.pending_events == before
+
+    def test_late_handoff_is_a_barrier_violation(self):
+        shard = self._shard()
+        shard.run(minutes=5)
+        target = sorted(shard.devices)[0]
+        # Submitted long enough ago that submit+latency is in the past.
+        stale = shard.kernel.now - shard.server.latency_ms - 1.0
+        with pytest.raises(RoutingError, match="late cross-shard handoff"):
+            shard.ingress(
+                [Handoff(stale, 1, "x@other", target, {"kind": "ack", "ack": 0})]
+            )
+
+
+class TestEpochValidation:
+    def test_epoch_above_min_latency_is_rejected(self):
+        with pytest.raises(FleetError, match="epoch"):
+            run_fleet(2, 2, seed=0, hours=0.01, epoch_ms=80.5, processes=False)
+
+    def test_epoch_zero_is_rejected(self):
+        with pytest.raises(FleetError, match="epoch"):
+            run_fleet(2, 2, seed=0, hours=0.01, epoch_ms=0.0, processes=False)
+
+    def test_unknown_workload_is_rejected(self):
+        with pytest.raises(FleetError, match="workload"):
+            run_fleet(2, 2, seed=0, hours=0.01, workload="nope", processes=False)
+
+    def test_nonpositive_duration_is_rejected(self):
+        with pytest.raises(FleetError, match="duration"):
+            run_fleet(2, 2, seed=0, hours=0.0, processes=False)
+
+
+class TestMerger:
+    def _report(self, shard_id, jids, events=10, routed=3):
+        return {
+            "collectors": {},
+            "devices": {jid: {"energy_j": 1.0} for jid in jids},
+            "events_executed": events,
+            "now_ms": 1000.0,
+            "seed": 7,
+            "server": {
+                "stanzas_lost": 0,
+                "stanzas_routed": routed,
+                "stanzas_stored_offline": 0,
+            },
+            "shard": shard_id,
+        }
+
+    def test_counters_sum_and_tables_union(self):
+        merged = merge_fleet_reports(
+            [self._report("f/0", ["a@p"]), self._report("f/1", ["b@p"])],
+            fleet_id="f",
+        )
+        assert merged["events_executed"] == 20
+        assert merged["server"]["stanzas_routed"] == 6
+        assert sorted(merged["devices"]) == ["a@p", "b@p"]
+        assert merged["shard"] == "f"
+
+    def test_duplicate_device_is_an_error(self):
+        with pytest.raises(MergeError, match="more than one shard"):
+            merge_fleet_reports(
+                [self._report("f/0", ["a@p"]), self._report("f/1", ["a@p"])],
+                fleet_id="f",
+            )
+
+    def test_clock_disagreement_is_an_error(self):
+        late = self._report("f/1", ["b@p"])
+        late["now_ms"] = 999.0
+        with pytest.raises(MergeError, match="clock"):
+            merge_fleet_reports(
+                [self._report("f/0", ["a@p"]), late], fleet_id="f"
+            )
+
+    def test_empty_merge_is_an_error(self):
+        with pytest.raises(MergeError):
+            merge_fleet_reports([], fleet_id="f")
+
+    def test_metrics_histograms_recompute_mean(self):
+        merged = merge_metrics(
+            [
+                {"n": 2, "h": {"count": 2, "sum": 4.0, "min": 1.0, "max": 3.0}},
+                {"n": 3, "h": {"count": 1, "sum": 5.0, "min": 5.0, "max": 5.0}},
+            ]
+        )
+        assert merged["n"] == 5
+        assert merged["h"] == {
+            "count": 3, "sum": 9.0, "min": 1.0, "max": 5.0, "mean": 3.0,
+        }
+
+    def test_empty_histograms_merge_cleanly(self):
+        merged = merge_metrics(
+            [{"h": {"count": 0, "sum": 0.0, "min": None, "max": None}}]
+        )
+        assert merged["h"]["mean"] == 0.0
+        assert merged["h"]["min"] is None
+
+    def test_trace_lines_gain_shard_and_sort_totally(self):
+        line_a = json.dumps({"span": 1, "start_ms": 5.0, "end_ms": 6.0})
+        line_b = json.dumps({"span": 1, "start_ms": 1.0, "end_ms": 2.0})
+        merged = merge_trace_jsonl([("f/0", line_a + "\n"), ("f/1", line_b + "\n")])
+        records = [json.loads(line) for line in merged.splitlines()]
+        assert [r["shard"] for r in records] == ["f/1", "f/0"]
+        assert [r["start_ms"] for r in records] == [1.0, 5.0]
+
+    def test_report_json_round_trips(self):
+        report = self._report("f", ["a@p"])
+        assert json.loads(report_to_json(report)) == report
+
+
+class TestCoordinatorSmoke:
+    def test_single_shard_in_process_matches_plain_run(self):
+        from repro.fleet.worker import run_battery_monitor_hour
+
+        result = run_fleet(
+            3, 1, seed=4, hours=0.25, collector="fleet", processes=False
+        )
+        plan_root = fleet_spec(3, seed=4, collector="fleet")
+        solo = run_battery_monitor_hour(plan_root, hours=0.25)
+        assert result.report_json == solo["report"]
+
+    def test_two_shards_in_process_match_single_shard(self):
+        sharded = run_fleet(4, 2, seed=6, hours=0.25, processes=False)
+        solo = run_fleet(4, 1, seed=6, hours=0.25, processes=False)
+        assert sharded.report_json == solo.report_json
+        assert sharded.trace_jsonl != ""  # merged trace rides along
+
+    def test_worker_crash_surfaces_cleanly(self):
+        from repro.fleet.worker import WorkerCrashed, call_in_subprocess
+
+        with pytest.raises(WorkerCrashed, match="_explode"):
+            call_in_subprocess(_explode, timeout_s=120.0)
+
+
+def _explode():
+    raise RuntimeError("boom from the worker")

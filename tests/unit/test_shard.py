@@ -98,10 +98,12 @@ class TestCrossShardBoundary:
         shard.server.submit("lab@pogo", "device-1@other", {"type": "ping"})
         pending = shard.pending_cross_shard()
         assert len(pending) == 1
-        from_jid, to_jid, stanza = pending[0]
-        assert (from_jid, to_jid) == ("lab@pogo", "device-1@other")
-        assert stanza["type"] == "ping"
-        assert stanza["_from"] == "lab@pogo"
+        handoff = pending[0]
+        assert (handoff.from_jid, handoff.to_jid) == ("lab@pogo", "device-1@other")
+        assert handoff.submit_ms == shard.kernel.now
+        assert handoff.seq == 1
+        assert handoff.stanza["type"] == "ping"
+        assert handoff.stanza["_from"] == "lab@pogo"
         # The queue drains on read.
         assert shard.pending_cross_shard() == []
         assert shard.server.stanzas_egressed == 1
@@ -140,7 +142,7 @@ class TestCrossShardBoundary:
         shard.run(minutes=1)
         shard.server.submit("lab@pogo", "peer@other", {"type": "ping"})
         handoffs = shard.run_until_epoch(shard.kernel.now + 5 * MINUTE)
-        assert [h[1] for h in handoffs] == ["peer@other"]
+        assert [h.to_jid for h in handoffs] == ["peer@other"]
         assert shard.kernel.now >= 6 * MINUTE
 
 
@@ -170,6 +172,10 @@ class TestBenchFleetParsing:
         assert parse_fleets("5, 50,500") == [5, 50, 500]
         assert parse_fleets("7") == [7]
 
+    def test_parse_accepts_sharded_tokens(self):
+        assert parse_fleets("5,5000x4") == [5, (5000, 4)]
+        assert parse_fleets("500x1") == [(500, 1)]
+
     def test_parse_rejects_junk(self):
         with pytest.raises(ValueError, match="--fleets"):
             parse_fleets("5,abc")
@@ -177,6 +183,10 @@ class TestBenchFleetParsing:
             parse_fleets("5,-1")
         with pytest.raises(ValueError, match="no fleet sizes"):
             parse_fleets(",,")
+        with pytest.raises(ValueError, match="NxK"):
+            parse_fleets("5000x")
+        with pytest.raises(ValueError, match="positive"):
+            parse_fleets("5000x0")
 
     def test_resolve_prefers_flag_then_env(self):
         assert resolve_fleets("9", env={"REPRO_BENCH_FLEETS": "3"}) == [9]
