@@ -26,6 +26,30 @@ def _writer(target: Union[str, TextIO, None]):
     return target, False, None
 
 
+def write_text(target: Union[str, TextIO, None], text: str) -> Optional[str]:
+    """The one write path every exporter shares.
+
+    ``target`` may be a path (written atomically-enough: open, write,
+    close), an open file, ``-`` / ``None`` for stdout.  Returns the text
+    so callers can chain.  Centralising this keeps ``--output`` /
+    ``--telemetry`` / ``--report`` flags behaving identically across
+    subcommands.
+    """
+    import sys
+
+    if target is None or target == "-":
+        sys.stdout.write(text)
+        if text and not text.endswith("\n"):
+            sys.stdout.write("\n")
+        return text
+    if isinstance(target, str):
+        with open(target, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        return text
+    target.write(text)
+    return text
+
+
 def series_to_csv(series: TimeSeries, target: Union[str, TextIO, None] = None) -> Optional[str]:
     """Write a (time, value) series as ``time_ms,value`` rows.
 

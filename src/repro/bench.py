@@ -133,8 +133,27 @@ def run_fleet(
         # is what *this* machine's core count delivered).
         crit = min(crits)
         row["critical_path_s"] = round(crit, 6)
-        row["events_per_s_parallel"] = round(events / crit, 1) if crit else 0.0
+        row["events_per_s_parallel"] = parallel_rate(executed, crit)
     return row
+
+
+#: Below this critical path (in seconds) a parallel rate is noise, not a
+#: measurement — ``process_time`` resolution on a near-empty window.
+MIN_CRITICAL_PATH_S = 1e-6
+
+
+def parallel_rate(events: int, critical_path_s: float) -> Optional[float]:
+    """``events / critical_path_s``, or ``None`` when the denominator is
+    zero or too small to mean anything.
+
+    A degenerate run (zero devices, a sub-resolution window) used to
+    divide by ~0 and report an absurd or infinite rate; ``null`` in the
+    JSON artifact is honest and keeps downstream tooling from plotting
+    garbage.
+    """
+    if critical_path_s is None or critical_path_s < MIN_CRITICAL_PATH_S:
+        return None
+    return round(events / critical_path_s, 1)
 
 
 # ---------------------------------------------------------------------------
@@ -297,7 +316,11 @@ def render_report(report: Dict[str, Any]) -> str:
     for row in report["fleets"]:
         notes = []
         if "events_per_s_parallel" in row:
-            notes.append(f"parallel {row['events_per_s_parallel']:,.0f} ev/s")
+            rate = row["events_per_s_parallel"]
+            notes.append(
+                f"parallel {rate:,.0f} ev/s" if rate is not None
+                else "parallel rate n/a (critical path ~0)"
+            )
         if row.get("gated"):
             notes.append("wall-clock gated")
         lines.append(
@@ -391,8 +414,9 @@ def main(args) -> int:
     )
     text = canonical_dumps(report)
     if args.out:
-        with open(args.out, "w", encoding="utf-8") as fh:
-            fh.write(text)
+        from .analysis.export import write_text
+
+        write_text(args.out, text)
     if args.json:
         print(text, end="")
     else:

@@ -21,7 +21,12 @@ bench            fleet-scaling kernel benchmark; emits the canonical
                  BENCH_kernel.json artifact (machine-comparable)
 fleet            one simulation partitioned across shard worker
                  processes; the merged report is byte-identical to the
-                 single-shard run (--shards 1 is that run)
+                 single-shard run (--shards 1 is that run); --telemetry
+                 exports the per-barrier time-series, --prom a
+                 Prometheus snapshot, --live a progress view
+top              live fleet progress: sim-time, events/s, per-shard lag
+                 bars and handoff backlog refreshed at every barrier,
+                 with a health verdict at the end
 
 Every command accepts ``--seed`` and prints a deterministic report.
 """
@@ -76,6 +81,9 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="include zero-valued counters")
     metrics.add_argument("--json", action="store_true",
                          help="machine-readable snapshot instead of text")
+    metrics.add_argument("--output", metavar="FILE",
+                         help="write the report to FILE instead of stdout "
+                              "('-' keeps stdout)")
 
     trace = sub.add_parser(
         "trace", help="message lifecycle tracing: per-hop latency & energy"
@@ -86,6 +94,9 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="machine-readable summary instead of text")
     trace.add_argument("--export", metavar="PATH",
                        help="write the flight recorder's spans as JSONL")
+    trace.add_argument("--output", metavar="FILE",
+                       help="write the report to FILE instead of stdout "
+                            "('-' keeps stdout)")
 
     chaos = sub.add_parser(
         "chaos", help="deterministic fault injection + invariant verdict"
@@ -151,6 +162,33 @@ def _build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--seed", type=int, default=argparse.SUPPRESS,
                        help="experiment seed (also accepted before the "
                             "subcommand)")
+    fleet.add_argument("--telemetry", metavar="FILE",
+                       help="sample every shard at each barrier and write "
+                            "the timeline as deterministic JSONL (same-seed "
+                            "runs are byte-identical)")
+    fleet.add_argument("--prom", metavar="FILE",
+                       help="write a Prometheus text-exposition snapshot of "
+                            "the final barrier (implies telemetry)")
+    fleet.add_argument("--live", action="store_true",
+                       help="show the repro-top live progress view on "
+                            "stderr while the fleet runs")
+
+    top = sub.add_parser(
+        "top", help="live fleet progress view (refreshed at each barrier)"
+    )
+    top.add_argument("--devices", type=int, default=500,
+                     help="fleet size (default 500)")
+    top.add_argument("--shards", type=int, default=4,
+                     help="worker process count (default 4)")
+    top.add_argument("--hours", type=float, default=1.0,
+                     help="simulated hours (default 1.0)")
+    top.add_argument("--epoch-ms", type=float, default=None,
+                     help="barrier window length (default: max safe)")
+    top.add_argument("--in-process", action="store_true",
+                     help="drive the shards in this process (no spawn cost)")
+    top.add_argument("--seed", type=int, default=argparse.SUPPRESS,
+                     help="experiment seed (also accepted before the "
+                          "subcommand)")
 
     return parser
 
@@ -379,6 +417,8 @@ def cmd_metrics(args) -> int:
     sim.assign(collector, devices)
     collector.node.deploy(battery_monitor.build_experiment(), [d.jid for d in devices])
     sim.run(hours=args.hours)
+    from .analysis.export import write_text
+
     if args.json:
         import json
 
@@ -390,13 +430,15 @@ def cmd_metrics(args) -> int:
                 if not (isinstance(value, (int, float)) and value == 0)
                 and not (isinstance(value, dict) and not value.get("count"))
             }
-        print(json.dumps(snapshot, indent=2, sort_keys=True))
-        return 0
-    print(
-        f"metrics after {args.hours} h with {args.devices} device(s) "
-        f"(seed {args.seed}):"
-    )
-    print(sim.kernel.metrics.report(include_zero=args.all))
+        text = json.dumps(snapshot, indent=2, sort_keys=True) + "\n"
+    else:
+        text = (
+            f"metrics after {args.hours} h with {args.devices} device(s) "
+            f"(seed {args.seed}):\n"
+            + sim.kernel.metrics.report(include_zero=args.all)
+            + "\n"
+        )
+    write_text(args.output, text)
     return 0
 
 
@@ -434,68 +476,73 @@ def cmd_trace(args) -> int:
         abs((attributed + control + unattributed) - active) / active if active else 0.0
     )
 
+    from .analysis.export import write_text
+
     if args.export:
         from .analysis.export import spans_to_jsonl
 
         spans_to_jsonl(spans, args.export)
 
     if args.json:
-        print(
-            json.dumps(
-                {
-                    "devices": args.devices,
-                    "hours": args.hours,
-                    "seed": args.seed,
-                    "spans": {
-                        "recorded": spans.recorded,
-                        "in_ring": len(spans),
-                        "dropped": spans.dropped,
-                    },
-                    "hops": spans.latency_snapshot(),
-                    "energy": {
-                        "attributed_j": round(attributed, 6),
-                        "control_j": round(control, 6),
-                        "unattributed_j": round(unattributed, 6),
-                        "idle_j": round(idle, 6),
-                        "active_j": round(active, 6),
-                        "total_j": round(active + idle, 6),
-                        "messages_attributed": messages,
-                        "piggybacked_messages": piggybacked,
-                        "reconciliation_delta": round(delta, 9),
-                    },
+        text = json.dumps(
+            {
+                "devices": args.devices,
+                "hours": args.hours,
+                "seed": args.seed,
+                "spans": {
+                    "recorded": spans.recorded,
+                    "in_ring": len(spans),
+                    "dropped": spans.dropped,
                 },
-                indent=2,
-                sort_keys=True,
-            )
-        )
+                "hops": spans.latency_snapshot(),
+                "energy": {
+                    "attributed_j": round(attributed, 6),
+                    "control_j": round(control, 6),
+                    "unattributed_j": round(unattributed, 6),
+                    "idle_j": round(idle, 6),
+                    "active_j": round(active, 6),
+                    "total_j": round(active + idle, 6),
+                    "messages_attributed": messages,
+                    "piggybacked_messages": piggybacked,
+                    "reconciliation_delta": round(delta, 9),
+                },
+            },
+            indent=2,
+            sort_keys=True,
+        ) + "\n"
+        write_text(args.output, text)
         return 0
 
-    print(
+    lines = [
         f"trace of {args.hours} h with {args.devices} device(s) (seed {args.seed}): "
         f"{spans.recorded:,} spans recorded, {len(spans):,} in flight recorder, "
-        f"{spans.dropped:,} dropped"
-    )
-    print()
-    print("per-hop latency:")
-    print(spans.latency_table())
+        f"{spans.dropped:,} dropped",
+        "",
+        "per-hop latency:",
+        spans.latency_table(),
+    ]
 
     # One complete lifecycle, as a causal tree: pick the last message that
     # reached the collector and is still fully inside the ring.
     delivered = spans.spans(hop="deliver.collector")
     if delivered:
-        print()
-        print(render_span_tree(spans, delivered[-1].trace_id))
+        lines.append("")
+        lines.append(render_span_tree(spans, delivered[-1].trace_id))
 
-    print()
-    print("per-message energy attribution (3G modem, fleet total):")
-    print(f"  messages attributed     {messages:>12,} ({piggybacked:,} piggybacked)")
-    print(f"  attributed to messages  {attributed:>12.2f} J")
-    print(f"  control/ack overhead    {control:>12.2f} J")
-    print(f"  other apps' radio use   {unattributed:>12.2f} J")
-    print(f"  radio-active total      {active:>12.2f} J")
-    print(f"  idle baseline           {idle:>12.2f} J")
-    print(f"  modem total             {active + idle:>12.2f} J")
-    print(f"  reconciliation delta    {delta * 100:>11.4f} %  (attributed+control+other vs active)")
+    lines.extend([
+        "",
+        "per-message energy attribution (3G modem, fleet total):",
+        f"  messages attributed     {messages:>12,} ({piggybacked:,} piggybacked)",
+        f"  attributed to messages  {attributed:>12.2f} J",
+        f"  control/ack overhead    {control:>12.2f} J",
+        f"  other apps' radio use   {unattributed:>12.2f} J",
+        f"  radio-active total      {active:>12.2f} J",
+        f"  idle baseline           {idle:>12.2f} J",
+        f"  modem total             {active + idle:>12.2f} J",
+        f"  reconciliation delta    {delta * 100:>11.4f} %  "
+        f"(attributed+control+other vs active)",
+    ])
+    write_text(args.output, "\n".join(lines) + "\n")
     return 0
 
 
@@ -513,8 +560,9 @@ def cmd_chaos(args) -> int:
         inject_bug=args.inject_bug,
     )
     if args.report:
-        with open(args.report, "w", encoding="utf-8") as fh:
-            fh.write(_chaos.report_json(report))
+        from .analysis.export import write_text
+
+        write_text(args.report, _chaos.report_json(report))
     if args.json:
         print(_chaos.report_json(report), end="")
     else:
@@ -528,9 +576,29 @@ def cmd_bench(args) -> int:
     return _bench.main(args)
 
 
+def _crash_line(exc) -> str:
+    """One line a human can act on, instead of a pasted traceback."""
+    shard = exc.shard_id if exc.shard_id is not None else "?"
+    where = ""
+    if exc.barriers is not None:
+        sim_ms = exc.barrier_ms if exc.barrier_ms is not None else 0.0
+        where = f" at epoch {exc.barriers:,} (t={sim_ms:,.0f} ms sim)"
+    cause = exc.cause or str(exc).splitlines()[0]
+    return f"fleet: worker {shard} crashed{where}: {cause}"
+
+
 def cmd_fleet(args) -> int:
     from .fleet import FleetError, WorkerCrashed, run_fleet
 
+    observer = None
+    live = None
+    telemetry = bool(args.telemetry or args.prom)
+    if args.live:
+        from .obs.live import LiveView
+        from .sim.kernel import HOUR
+
+        live = LiveView(args.hours * HOUR, args.devices, args.shards)
+        observer = live
     try:
         result = run_fleet(
             args.devices,
@@ -539,13 +607,30 @@ def cmd_fleet(args) -> int:
             hours=args.hours,
             epoch_ms=args.epoch_ms,
             processes=not args.in_process,
+            telemetry=telemetry,
+            observer=observer,
         )
-    except (FleetError, WorkerCrashed) as exc:
+    except WorkerCrashed as exc:
+        print(_crash_line(exc), file=sys.stderr)
+        return 1
+    except FleetError as exc:
         print(f"fleet: {exc}", file=sys.stderr)
         return 1
+    finally:
+        if live is not None:
+            live.close()
+    from .analysis.export import write_text
+
+    if args.telemetry:
+        from .obs.timeline import timeline_to_jsonl
+
+        write_text(args.telemetry, timeline_to_jsonl(result.timeline))
+    if args.prom:
+        from .obs.prometheus import timeline_to_prometheus
+
+        write_text(args.prom, timeline_to_prometheus(result.timeline))
     if args.report:
-        with open(args.report, "w", encoding="utf-8") as fh:
-            fh.write(result.report_json)
+        write_text(args.report, result.report_json)
     if args.json:
         print(result.report_json, end="")
         return 0
@@ -568,8 +653,51 @@ def cmd_fleet(args) -> int:
         f"{server['stanzas_lost']:,} lost, "
         f"{server['stanzas_stored_offline']:,} stored offline"
     )
+    if result.health is not None:
+        from .obs.timeline import render_health
+
+        print("  " + render_health(result.health).replace("\n", "\n  "))
+    if args.telemetry:
+        print(f"  telemetry timeline -> {args.telemetry}")
+    if args.prom:
+        print(f"  prometheus snapshot -> {args.prom}")
     if args.report:
         print(f"  merged report -> {args.report}")
+    return 0
+
+
+def cmd_top(args) -> int:
+    """Run a fleet with the live view attached; print health at the end."""
+    from .fleet import FleetError, WorkerCrashed, run_fleet
+    from .obs.live import LiveView
+    from .obs.timeline import render_health
+    from .sim.kernel import HOUR
+
+    live = LiveView(args.hours * HOUR, args.devices, args.shards)
+    try:
+        result = run_fleet(
+            args.devices,
+            args.shards,
+            seed=args.seed,
+            hours=args.hours,
+            epoch_ms=args.epoch_ms,
+            processes=not args.in_process,
+            observer=live,
+        )
+    except WorkerCrashed as exc:
+        print(_crash_line(exc), file=sys.stderr)
+        return 1
+    except FleetError as exc:
+        print(f"fleet: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        live.close()
+    print(
+        f"{result.devices} devices / {result.shards} shard(s): "
+        f"{result.events:,} events, {result.barriers:,} barriers, "
+        f"{result.handoffs:,} handoffs in {result.wall_s:.2f} s wall"
+    )
+    print(render_health(result.health))
     return 0
 
 
@@ -587,6 +715,7 @@ _COMMANDS = {
     "chaos": cmd_chaos,
     "bench": cmd_bench,
     "fleet": cmd_fleet,
+    "top": cmd_top,
 }
 
 

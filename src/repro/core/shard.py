@@ -45,6 +45,7 @@ from ..device.apps import EmailApp, EmailConfig
 from ..device.phone import Phone
 from ..device.radio import KPN, CarrierProfile
 from ..net.xmpp import XmppServer
+from ..obs.telemetry import ShardTelemetry
 from ..sensors.accelerometer import AccelerometerSensor
 from ..sensors.battery_sensor import BatterySensor
 from ..sensors.location import LocationSensor
@@ -141,6 +142,10 @@ class ShardSpec:
     record_trace: bool = False
     spans: bool = True
     metrics: bool = True
+    #: Arm the out-of-band telemetry sampler (the fleet worker samples it
+    #: at every epoch barrier).  Never perturbs the simulation: sampling
+    #: is pull-only, so this flag cannot change a single event.
+    telemetry: bool = False
     collectors: Tuple[str, ...] = ()
     devices: Tuple[DeviceSpec, ...] = ()
 
@@ -242,6 +247,7 @@ class Shard:
         record_trace: bool = False,
         spans: bool = True,
         metrics: bool = True,
+        telemetry: bool = False,
         shard_id: str = "shard-0",
     ) -> None:
         if spec is not None:
@@ -250,6 +256,7 @@ class Shard:
             record_trace = spec.record_trace
             spans = spec.spans
             metrics = spec.metrics
+            telemetry = spec.telemetry
             shard_id = spec.shard_id
         self.spec = spec
         self.shard_id = shard_id
@@ -270,6 +277,10 @@ class Shard:
             spans=self.kernel.spans,
             trace=self.trace,
         )
+        # The telemetry plane: a pull-only barrier sampler (fleet workers
+        # read it; nothing in the shard ever calls it).  Disabled it is a
+        # __class__-swapped null lane, same idiom as spans and metrics.
+        self.telemetry = ShardTelemetry(self, enabled=telemetry)
         self.server = XmppServer(self.kernel, trace=self.trace)
         self.admin = TestbedAdmin(self.server)
         self.default_carrier = carrier

@@ -28,17 +28,19 @@ One simulation, K shards, each advanced in lockstep windows:
 from __future__ import annotations
 
 import multiprocessing
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from time import perf_counter, process_time
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..core.shard import Handoff, Shard, ShardSpec
+from ..obs.timeline import FleetTimeline, fleet_health
 from ..sim.kernel import HOUR
 from .merge import merge_fleet_reports, merge_metrics, merge_trace_jsonl, report_to_json
 from .partition import FleetPlan, fleet_spec, plan_fleet
 from .worker import (
     WORKLOADS,
     WorkerCrashed,
+    _rss_kb,
     collect_artifacts,
     fleet_worker_main,
 )
@@ -68,6 +70,12 @@ class FleetResult:
     #: own core.  On a single-core host ``wall_s`` serializes the
     #: workers; this is the parallel capacity the layout actually has.
     critical_path_s: float = 0.0
+    #: Per-barrier telemetry time-series (``None`` unless the run was
+    #: started with ``telemetry=True`` or an observer).
+    timeline: Optional[FleetTimeline] = None
+    #: Coordinator health verdict derived from the timeline — slow or
+    #: stalled shards, barrier imbalance (``None`` without telemetry).
+    health: Optional[Dict[str, Any]] = None
 
     @property
     def events(self) -> int:
@@ -88,11 +96,23 @@ class _LocalWorker:
 
     def __init__(self, spec: ShardSpec, workload: str, fleet_ctx) -> None:
         self.shard_id = spec.shard_id
-        self.shard = Shard(spec)
-        self.shard.open_boundary()
-        WORKLOADS[workload](self.shard, fleet_ctx)
-        self._pending: Optional[Tuple[List[Handoff], Optional[float]]] = None
+        try:
+            self.shard = Shard(spec)
+            self.shard.open_boundary()
+            WORKLOADS[workload](self.shard, fleet_ctx)
+        except WorkerCrashed:
+            raise
+        except Exception as exc:
+            # Same surface as a spawned worker that died during setup,
+            # so callers handle in-process and process fleets alike.
+            raise WorkerCrashed(
+                f"worker {self.shard_id} raised during setup: {exc}",
+                shard_id=self.shard_id,
+                cause=f"{type(exc).__name__}: {exc}",
+            ) from exc
+        self._pending: Optional[Tuple[List[Handoff], Optional[float], Any]] = None
         self._busy_s = 0.0
+        self._epoch = 0
 
     def ready(self) -> Tuple[float, Optional[float], List[Handoff]]:
         return (
@@ -107,9 +127,23 @@ class _LocalWorker:
             self.shard.ingress(handoffs)
         out = self.shard.run_until_epoch(barrier_ms)
         self._busy_s += process_time() - t0
-        self._pending = (out, self.shard.kernel.next_event_time())
+        self._epoch += 1
+        # In-process workers never block on a pipe, so stall is zero by
+        # construction; CPU and RSS keep the wall section comparable.
+        sample = self.shard.telemetry.sample(
+            self._epoch,
+            barrier_ms,
+            handoffs_in=len(handoffs),
+            handoffs_out=len(out),
+            wall={
+                "cpu_s": round(self._busy_s, 6),
+                "stall_s": 0.0,
+                "rss_kb": _rss_kb(),
+            },
+        )
+        self._pending = (out, self.shard.kernel.next_event_time(), sample)
 
-    def wait_barrier(self) -> Tuple[List[Handoff], Optional[float]]:
+    def wait_barrier(self) -> Tuple[List[Handoff], Optional[float], Any]:
         pending, self._pending = self._pending, None
         return pending
 
@@ -144,19 +178,31 @@ class _ProcessWorker:
     def _recv(self):
         try:
             if not self.conn.poll(self.timeout_s):
+                cause = f"no reply within {self.timeout_s:.0f}s — presumed hung"
                 raise WorkerCrashed(
                     f"worker {self.shard_id} produced nothing for "
-                    f"{self.timeout_s:.0f}s — presumed hung"
+                    f"{self.timeout_s:.0f}s — presumed hung",
+                    shard_id=self.shard_id,
+                    cause=cause,
                 )
             message = self.conn.recv()
         except (EOFError, OSError) as exc:
             self.process.join(timeout=5.0)
             raise WorkerCrashed(
                 f"worker {self.shard_id} died with exit code "
-                f"{self.process.exitcode}"
+                f"{self.process.exitcode}",
+                shard_id=self.shard_id,
+                cause=f"process died with exit code {self.process.exitcode}",
             ) from exc
         if message[0] == "error":
-            raise WorkerCrashed(f"worker {self.shard_id} raised:\n{message[1]}")
+            # The last non-empty traceback line is the exception itself —
+            # the one-line cause the CLI prints.
+            lines = [line for line in str(message[1]).splitlines() if line.strip()]
+            raise WorkerCrashed(
+                f"worker {self.shard_id} raised:\n{message[1]}",
+                shard_id=self.shard_id,
+                cause=lines[-1].strip() if lines else "unknown error",
+            )
         return message
 
     def ready(self) -> Tuple[float, Optional[float], List[Handoff]]:
@@ -167,9 +213,9 @@ class _ProcessWorker:
     def post_advance(self, barrier_ms: float, handoffs: List[Handoff]) -> None:
         self.conn.send(("advance", barrier_ms, handoffs))
 
-    def wait_barrier(self) -> Tuple[List[Handoff], Optional[float]]:
-        message = self._recv()  # ("barrier", handoffs, next_event)
-        return message[1], message[2]
+    def wait_barrier(self) -> Tuple[List[Handoff], Optional[float], Any]:
+        message = self._recv()  # ("barrier", handoffs, next_event, sample)
+        return message[1], message[2], message[3]
 
     def post_finish(self) -> None:
         self.conn.send(("finish",))
@@ -207,6 +253,8 @@ def run_fleet(
     metrics: bool = True,
     processes: bool = True,
     barrier_timeout_s: float = 600.0,
+    telemetry: bool = False,
+    observer: Optional[Callable[[Dict[str, Any]], None]] = None,
 ) -> FleetResult:
     """Run one fleet partitioned across ``shards`` workers and merge.
 
@@ -217,7 +265,17 @@ def run_fleet(
     property tests use it.  ``epoch_ms`` defaults to the maximum safe
     value (the minimum cross-shard stanza latency reported by the
     workers); anything larger is rejected.
+
+    ``telemetry=True`` arms the per-shard barrier sampler and attaches
+    the collected :class:`~repro.obs.timeline.FleetTimeline` (plus the
+    derived health verdict) to the result.  ``observer`` — a callable
+    receiving each timeline frame as it is appended (e.g.
+    :class:`~repro.obs.live.LiveView`) — implies telemetry.  Sampling
+    is pull-only and never perturbs the simulation: reports and traces
+    are byte-identical with telemetry on or off.
     """
+    if observer is not None:
+        telemetry = True
     if spec is None:
         if devices is None:
             raise FleetError("pass a device count or a root ShardSpec")
@@ -225,6 +283,11 @@ def run_fleet(
             devices, seed=seed, collector=collector, shard_id=fleet_id,
             spans=spans, metrics=metrics,
         )
+    # A telemetry-armed root spec and the flag are equivalent: either
+    # arms every shard's sampler (partitioning copies the field).
+    telemetry = telemetry or spec.telemetry
+    if telemetry and not spec.telemetry:
+        spec = replace(spec, telemetry=True)
     if workload not in WORKLOADS:
         raise FleetError(
             f"unknown workload {workload!r}; have {sorted(WORKLOADS)}"
@@ -280,47 +343,75 @@ def run_fleet(
         handoffs_total = len(setup_handoffs)
         now = 0.0
         barriers = 0
+        timeline = (
+            FleetTimeline(
+                fleet_id=plan.root.shard_id,
+                devices=len(plan.device_jids),
+                shards=plan.n_shards,
+            )
+            if telemetry
+            else None
+        )
 
         def exchange(barrier: float) -> None:
             """Grant the window ending at ``barrier`` to every worker,
             then collect, totally order, and route the handoffs."""
             nonlocal outbox, next_events, handoffs_total, barriers
+            window_start = perf_counter()
             for index, worker in enumerate(workers):
                 worker.post_advance(barrier, outbox[index])
             results = [worker.wait_barrier() for worker in workers]
             collected: List[Handoff] = []
-            for out, _ in results:
+            for out, _, _ in results:
                 collected.extend(out)
             collected.sort(key=_handoff_sort_key)
             outbox = [[] for _ in workers]
             for handoff in collected:
                 outbox[plan.owner_of(handoff.to_jid)].append(handoff)
             handoffs_total += len(collected)
-            next_events = [next_event for _, next_event in results]
+            next_events = [next_event for _, next_event, _ in results]
             barriers += 1
+            if timeline is not None:
+                frame = timeline.append(
+                    epoch=barriers,
+                    barrier_ms=barrier,
+                    samples=[sample for _, _, sample in results],
+                    handoffs=len(collected),
+                    backlog=sum(len(granted) for granted in outbox),
+                    window_wall_s=perf_counter() - window_start,
+                )
+                if observer is not None:
+                    observer(frame)
 
-        while now < total_ms:
-            wakeups = [t for t in next_events if t is not None]
-            wakeups.extend(
-                handoff.submit_ms + min_latency
-                for granted in outbox
-                for handoff in granted
-            )
-            if not wakeups:
-                barrier = total_ms  # quiescent: nothing can ever happen again
-            else:
-                barrier = min(total_ms, max(now, min(wakeups)) + epoch)
-            exchange(barrier)
-            now = barrier
+        try:
+            while now < total_ms:
+                wakeups = [t for t in next_events if t is not None]
+                wakeups.extend(
+                    handoff.submit_ms + min_latency
+                    for granted in outbox
+                    for handoff in granted
+                )
+                if not wakeups:
+                    barrier = total_ms  # quiescent: nothing can happen again
+                else:
+                    barrier = min(total_ms, max(now, min(wakeups)) + epoch)
+                exchange(barrier)
+                now = barrier
 
-        # Horizon drain: handoffs collected at the final barrier can be
-        # due at or before the horizon (``run_until`` executes events at
-        # exactly T), and executing them can egress more.  Keep draining
-        # zero-length windows until nothing new crosses; afterwards the
-        # receivers' heaps hold the same still-due entries the solo run
-        # would hold at T.
-        while any(outbox):
-            exchange(total_ms)
+            # Horizon drain: handoffs collected at the final barrier can
+            # be due at or before the horizon (``run_until`` executes
+            # events at exactly T), and executing them can egress more.
+            # Keep draining zero-length windows until nothing new
+            # crosses; afterwards the receivers' heaps hold the same
+            # still-due entries the solo run would hold at T.
+            while any(outbox):
+                exchange(total_ms)
+        except WorkerCrashed as exc:
+            # Stamp how far the fleet got so the CLI can say "crashed at
+            # epoch N (t=... ms sim)" without re-deriving it.
+            exc.barriers = barriers
+            exc.barrier_ms = now
+            raise
 
         for worker in workers:
             worker.post_finish()
@@ -350,4 +441,6 @@ def run_fleet(
         critical_path_s=max(
             artifact.get("busy_s", 0.0) for artifact in artifacts
         ),
+        timeline=timeline,
+        health=fleet_health(timeline) if timeline is not None else None,
     )

@@ -24,6 +24,15 @@ combine count/sum/min/max with the mean recomputed).  Span traces merge
 into one JSONL stream with a ``shard`` field added to every line —
 span ids are only unique per shard, so the shard id is part of the
 merged identity.
+
+Edge cases are first-class: a shard with zero devices still produces a
+valid (empty-table) report and merges cleanly — partitioners may hand a
+small fleet to many workers — and a shard that recorded no trace events
+contributes an empty JSONL text, which the trace merge treats as zero
+lines, not an error.  The telemetry plane's
+:func:`repro.obs.timeline.aggregate_totals` leans on exactly the
+partitioning argument above: every field it sums is one of the
+conserved counters, so fleet totals equal the solo run's.
 """
 
 from __future__ import annotations

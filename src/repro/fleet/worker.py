@@ -28,7 +28,51 @@ from ..core.shard import Shard, ShardSpec
 
 
 class WorkerCrashed(RuntimeError):
-    """A worker process died, raised an exception, or stopped responding."""
+    """A worker process died, raised an exception, or stopped responding.
+
+    Beyond the message, carries structured fields the CLI uses to print
+    a one-line diagnosis instead of a raw traceback dump:
+
+    * ``shard_id`` — which worker died (``None`` if unknown).
+    * ``cause`` — one-line cause (last traceback line, or an exit-code /
+      timeout description).
+    * ``barriers`` / ``barrier_ms`` — how many epoch barriers the fleet
+      had completed, and the sim time of the last one, when the crash
+      surfaced (filled in by the coordinator).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        shard_id: Optional[str] = None,
+        cause: Optional[str] = None,
+        barriers: Optional[int] = None,
+        barrier_ms: Optional[float] = None,
+    ) -> None:
+        super().__init__(message)
+        self.shard_id = shard_id
+        self.cause = cause
+        self.barriers = barriers
+        self.barrier_ms = barrier_ms
+
+
+def _rss_kb() -> Optional[int]:
+    """Peak RSS of this process in KiB, or ``None`` where unavailable.
+
+    ``resource`` is POSIX-only, and macOS reports ``ru_maxrss`` in bytes
+    rather than kilobytes — normalise so the telemetry wall section means
+    the same thing everywhere it exists.
+    """
+    try:
+        import resource
+        import sys
+
+        peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        if sys.platform == "darwin":
+            peak //= 1024
+        return int(peak)
+    except Exception:
+        return None
 
 
 # ---------------------------------------------------------------------------
@@ -77,11 +121,24 @@ def setup_battery_monitor(
             shard.server.add_remote_roster(jid, collector_jid)
 
 
+def setup_crash_canary(
+    shard: Shard, fleet_ctx: Optional[Dict[str, Any]] = None
+) -> None:
+    """Deliberately crash during workload setup (test workload).
+
+    Lets the crash-reporting tests exercise the full spawned-worker
+    error path — the workload must live at module level so the child
+    interpreter can import it by name.
+    """
+    raise RuntimeError("crash canary tripped")
+
+
 #: Workload name → setup callable, looked up by the worker loop.  Names,
 #: not callables, cross the pipe — the registry keeps spawn picklability
 #: trivial and gives misconfiguration a clean error.
 WORKLOADS = {
     "battery-monitor": setup_battery_monitor,
+    "crash-canary": setup_crash_canary,
 }
 
 
@@ -126,14 +183,21 @@ def fleet_worker_main(
       receivers schedule it exactly where the solo run would.
     * → ``("advance", barrier_ms, handoffs)``: ingress the granted
       handoffs, run to the barrier.
-      ← ``("barrier", out_handoffs, next_event_time)``
+      ← ``("barrier", out_handoffs, next_event_time, sample)`` where
+      ``sample`` is the shard's telemetry snapshot for the window just
+      finished (``None`` when telemetry is disabled).
     * → ``("finish",)``  ← ``("result", artifacts)``
     * Any exception ← ``("error", traceback_text)`` and the loop exits.
+
+    Telemetry wall fields: ``cpu_s`` is cumulative CPU spent advancing
+    the shard, ``stall_s`` is cumulative wall time spent blocked in
+    ``conn.recv`` waiting for the next barrier grant (the worker's view
+    of barrier imbalance), ``rss_kb`` the process peak RSS.
     """
     # CPU time, not wall: on an oversubscribed host a worker's window
     # wall time includes the other workers' time slices, which would
     # inflate the critical path it reports.
-    from time import process_time
+    from time import perf_counter, process_time
 
     try:
         setup = WORKLOADS[workload]
@@ -141,12 +205,16 @@ def fleet_worker_main(
         shard.open_boundary()
         setup(shard, fleet_ctx)
         busy_s = 0.0
+        stall_s = 0.0
+        epoch = 0
         conn.send(
             ("ready", shard.shard_id, shard.server.latency_ms,
              shard.kernel.next_event_time(), shard.pending_cross_shard())
         )
         while True:
+            w0 = perf_counter()
             message = conn.recv()
+            stall_s += perf_counter() - w0
             op = message[0]
             if op == "advance":
                 barrier_ms, handoffs = message[1], message[2]
@@ -155,7 +223,19 @@ def fleet_worker_main(
                     shard.ingress(handoffs)
                 out = shard.run_until_epoch(barrier_ms)
                 busy_s += process_time() - t0
-                conn.send(("barrier", out, shard.kernel.next_event_time()))
+                epoch += 1
+                sample = shard.telemetry.sample(
+                    epoch,
+                    barrier_ms,
+                    handoffs_in=len(handoffs),
+                    handoffs_out=len(out),
+                    wall={
+                        "cpu_s": round(busy_s, 6),
+                        "stall_s": round(stall_s, 6),
+                        "rss_kb": _rss_kb(),
+                    },
+                )
+                conn.send(("barrier", out, shard.kernel.next_event_time(), sample))
             elif op == "finish":
                 conn.send(("result", collect_artifacts(shard, busy_s)))
                 return

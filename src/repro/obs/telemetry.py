@@ -1,0 +1,158 @@
+"""The per-shard telemetry sampler: one snapshot per epoch barrier.
+
+A :class:`ShardTelemetry` hangs off a :class:`~repro.core.shard.Shard`
+and, when asked (the fleet worker asks at every barrier), reads the
+shard's state into one plain dict.  Sampling is strictly *pull*: nothing
+is scheduled on the kernel, no callback is installed, no counter is
+added to any hot path — a telemetry-enabled run executes exactly the
+same events as a dark one, which is what lets the timeline ride next to
+the byte-identical-merge guarantee instead of endangering it.
+
+Two kinds of fields live in a snapshot, and they never mix:
+
+* **Simulation-keyed fields** — kernel counters, heap depth, handoff
+  counts, per-hop latency digests, energy totals, invariant status.
+  These are pure functions of the seed: two same-seed runs produce
+  byte-identical values, and additive fields sum across shards to
+  exactly the solo run's totals (:func:`repro.obs.timeline.aggregate_totals`).
+* **Wall-clock fields** — worker CPU seconds, RSS, time spent stalled
+  at the pipe waiting for the next barrier grant.  These live under the
+  single ``wall`` key so the deterministic exporter can strip them with
+  one ``pop``.
+
+Energy is reported as integer microjoules (each device rounded, then
+summed) so the fleet total is an exact integer sum no matter how devices
+are partitioned — float addition order cannot leak into the totals.
+
+The disabled form follows the repo's null-lane idiom: ``disable()``
+retargets the live object to :class:`NullShardTelemetry` (identical slot
+layout, so ``__class__`` assignment is legal) whose ``sample`` is a bare
+``return None`` — no flag branch on the callers' path.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+#: Snapshot schema identifier; bump when the sample layout changes.
+SCHEMA = "telemetry/1"
+
+
+def energy_microjoules(shard) -> int:
+    """Total device energy as an exact integer sum of per-device µJ.
+
+    Rounding *per device* before summing makes the total independent of
+    partitioning: a 4-shard fleet's four sums add to the solo run's sum
+    bit for bit, which a float total (addition-order dependent) would
+    not guarantee.
+    """
+    return sum(
+        int(round(device.phone.energy_joules * 1e6))
+        for device in shard.devices.values()
+    )
+
+
+def invariant_status(shard) -> Optional[Dict[str, Any]]:
+    """Invariant verdict, when a monitor rides in ``shard.extras``.
+
+    Chaos campaigns attach their :class:`~repro.chaos.invariants.InvariantMonitor`
+    as ``extras["invariant_monitor"]``; plain fleet runs have none and
+    report ``None``.
+    """
+    monitor = shard.extras.get("invariant_monitor")
+    if monitor is None:
+        return None
+    violations = getattr(monitor, "violations", ())
+    return {"ok": not violations, "violations": len(violations)}
+
+
+class ShardTelemetry:
+    """Pull-sampler for one shard; the fleet worker owns one."""
+
+    __slots__ = ("shard", "enabled")
+
+    def __init__(self, shard, enabled: bool = True) -> None:
+        self.shard = shard
+        self.enabled = enabled
+        if not enabled:
+            self.__class__ = NullShardTelemetry
+
+    # ------------------------------------------------------------------
+    def disable(self) -> None:
+        """Kill switch: ``sample`` becomes a bare ``return None``."""
+        self.enabled = False
+        self.__class__ = NullShardTelemetry
+
+    def enable(self) -> None:
+        self.enabled = True
+        self.__class__ = ShardTelemetry
+
+    # ------------------------------------------------------------------
+    def sample(
+        self,
+        epoch: int,
+        barrier_ms: float,
+        handoffs_in: int = 0,
+        handoffs_out: int = 0,
+        wall: Optional[Dict[str, float]] = None,
+    ) -> Optional[Dict[str, Any]]:
+        """One snapshot of the shard at the barrier ending ``barrier_ms``.
+
+        ``handoffs_in``/``handoffs_out`` are the cross-shard counts of
+        the window just finished (the worker knows both).  ``wall`` is
+        the worker's wall-clock section, passed through untouched.
+        """
+        shard = self.shard
+        kernel = shard.kernel
+        spans = kernel.spans
+        server = shard.server
+        sample: Dict[str, Any] = {
+            "kind": "sample",
+            "epoch": epoch,
+            "barrier_ms": barrier_ms,
+            "shard": shard.shard_id,
+            "kernel": {
+                "events": kernel.events_executed,
+                "pending": kernel.pending_events,
+                "tombstones": kernel._tombstones,
+                "compactions": kernel.compactions,
+            },
+            "handoffs": {"in": handoffs_in, "out": handoffs_out},
+            "server": {
+                "stanzas_routed": server.stanzas_routed,
+                "stanzas_lost": server.stanzas_lost,
+                "stanzas_stored_offline": server.stanzas_stored_offline,
+            },
+            "energy_uj": energy_microjoules(shard),
+            "spans": {"recorded": spans.recorded, "dropped": spans.dropped},
+            "hops": spans.latency_digest(),
+            "counters": kernel.metrics.counter_values(),
+            "invariants": invariant_status(shard),
+        }
+        if wall is not None:
+            sample["wall"] = wall
+        return sample
+
+
+class NullShardTelemetry(ShardTelemetry):
+    """Disabled sampler: ``sample`` is a bare ``return None``.
+
+    The slot layout is identical to :class:`ShardTelemetry`, so the
+    ``__class__`` swap is legal and ``enable()`` can swap back.
+    """
+
+    __slots__ = ()
+
+    def __init__(self, shard, enabled: bool = False) -> None:
+        self.shard = shard
+        self.enabled = False
+
+    def sample(
+        self,
+        epoch: int,
+        barrier_ms: float,
+        handoffs_in: int = 0,
+        handoffs_out: int = 0,
+        wall: Optional[Dict[str, float]] = None,
+    ) -> Optional[Dict[str, Any]]:
+        return None

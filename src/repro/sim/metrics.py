@@ -154,6 +154,18 @@ class MetricsRegistry:
         self._gauges[name] = fn
 
     # ------------------------------------------------------------------
+    def counter_values(self) -> Dict[str, int]:
+        """Counter values only, sorted by name.
+
+        This is the *additive* slice of the plane: counters partition
+        exactly across fleet shards (each increment happens on exactly
+        one shard), so the telemetry timeline sums them into fleet
+        totals that match the solo run.  Gauges (heap depth, tombstone
+        count) and histograms are deliberately excluded — deterministic,
+        but not meaningfully summable.
+        """
+        return {name: self._counters[name].value for name in sorted(self._counters)}
+
     def snapshot(self) -> Dict[str, Any]:
         """All current values, keyed by metric name, sorted."""
         out: Dict[str, Any] = {}

@@ -322,6 +322,27 @@ class SpanRecorder:
             }
         return out
 
+    def latency_digest(self) -> Dict[str, Dict[str, float]]:
+        """Additive per-hop digest: count / sum / min / max, no mean.
+
+        The telemetry plane ships this at every epoch barrier.  Counts
+        and sums combine across shards by plain addition (mins/maxes by
+        min/max), so the fleet aggregator can merge K digests without
+        recomputing anything from raw spans.
+        """
+        out: Dict[str, Dict[str, float]] = {}
+        for name in self.hop_names():
+            histogram = self._hops[name].histogram
+            if histogram.count == 0:
+                continue
+            out[name] = {
+                "count": histogram.count,
+                "sum_ms": round(histogram.total, 3),
+                "min_ms": histogram.min,
+                "max_ms": histogram.max,
+            }
+        return out
+
 
 def span_tree(spans: Iterable[Span], trace_id: int) -> List[Tuple[int, Span]]:
     """(depth, span) rows for one trace, parents before children.

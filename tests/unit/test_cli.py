@@ -90,6 +90,74 @@ def test_trace_json_and_export(tmp_path, capsys):
                           "end_ms", "attrs"}
 
 
+def test_metrics_output_file_redirects_the_report(tmp_path, capsys):
+    path = tmp_path / "metrics.txt"
+    assert main(["--seed", "3", "metrics", "--devices", "2", "--hours", "0.5",
+                 "--output", str(path)]) == 0
+    assert capsys.readouterr().out == ""  # redirected, nothing on stdout
+    text = path.read_text(encoding="utf-8")
+    assert "metrics after 0.5 h with 2 device(s)" in text
+    assert "broker.publishes" in text
+
+
+def test_trace_output_file(tmp_path, capsys):
+    import json
+
+    path = tmp_path / "trace.json"
+    assert main(["--seed", "3", "trace", "--devices", "2", "--hours", "0.5",
+                 "--json", "--output", str(path)]) == 0
+    assert capsys.readouterr().out == ""
+    report = json.loads(path.read_text(encoding="utf-8"))
+    assert report["devices"] == 2
+
+
+def test_fleet_telemetry_and_prom_exports(tmp_path, capsys):
+    import json
+
+    timeline = tmp_path / "timeline.jsonl"
+    prom = tmp_path / "snapshot.prom"
+    assert main(["--seed", "5", "fleet", "--devices", "4", "--shards", "2",
+                 "--hours", "0.25", "--in-process",
+                 "--telemetry", str(timeline), "--prom", str(prom)]) == 0
+    out = capsys.readouterr().out
+    assert "health:" in out
+    assert "telemetry timeline ->" in out
+    records = [json.loads(line) for line in
+               timeline.read_text(encoding="utf-8").splitlines()]
+    assert records[-1]["kind"] == "totals"
+    assert '"wall"' not in timeline.read_text(encoding="utf-8")
+    assert "# TYPE pogo_events_executed counter" in prom.read_text(
+        encoding="utf-8")
+
+
+def test_top_runs_and_prints_health(capsys):
+    assert main(["--seed", "5", "top", "--devices", "4", "--shards", "2",
+                 "--hours", "0.25", "--in-process"]) == 0
+    captured = capsys.readouterr()
+    assert "health:" in captured.out
+    assert "repro top" in captured.err  # the live view writes to stderr
+
+
+def test_fleet_worker_crash_prints_one_line_and_exits_1(capsys, monkeypatch):
+    import repro.fleet.coordinator as coordinator
+    from repro.fleet.worker import WORKLOADS, WorkerCrashed
+
+    # Route the CLI's fixed battery-monitor workload to the crash canary
+    # so the in-process fleet dies during setup.
+    monkeypatch.setitem(
+        WORKLOADS, "battery-monitor", WORKLOADS["crash-canary"]
+    )
+    rc = main(["fleet", "--devices", "4", "--shards", "2",
+               "--hours", "0.1", "--in-process"])
+    captured = capsys.readouterr()
+    assert rc == 1
+    err = captured.err.strip()
+    assert err.splitlines() == [
+        "fleet: worker fleet/0 crashed: RuntimeError: crash canary tripped"
+    ]
+    assert "Traceback" not in captured.err
+
+
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["frobnicate"])

@@ -209,8 +209,35 @@ class TestMerger:
         report = self._report("f", ["a@p"])
         assert json.loads(report_to_json(report)) == report
 
+    def test_zero_device_shard_report_merges_cleanly(self):
+        # A partitioner may legitimately hand a worker zero devices (2
+        # devices over 4 shards); its empty-table report must merge.
+        merged = merge_fleet_reports(
+            [self._report("f/0", ["a@p"]), self._report("f/1", [])],
+            fleet_id="f",
+        )
+        assert sorted(merged["devices"]) == ["a@p"]
+        assert merged["events_executed"] == 20
+
+    def test_trace_merge_tolerates_a_shard_with_no_spans(self):
+        line = json.dumps({"span": 1, "start_ms": 5.0, "end_ms": 6.0})
+        merged = merge_trace_jsonl([("f/0", line + "\n"), ("f/1", "")])
+        records = [json.loads(l) for l in merged.splitlines()]
+        assert len(records) == 1
+        assert records[0]["shard"] == "f/0"
+
+    def test_trace_merge_of_all_empty_shards_is_empty(self):
+        assert merge_trace_jsonl([("f/0", ""), ("f/1", "")]) == ""
+
 
 class TestCoordinatorSmoke:
+    def test_more_shards_than_devices_matches_solo(self):
+        # Round-robin leaves shards 2 and 3 with zero devices; the fleet
+        # must still run and merge byte-identically to the solo report.
+        sharded = run_fleet(2, 4, seed=6, hours=0.25, processes=False)
+        solo = run_fleet(2, 1, seed=6, hours=0.25, processes=False)
+        assert sharded.report_json == solo.report_json
+
     def test_single_shard_in_process_matches_plain_run(self):
         from repro.fleet.worker import run_battery_monitor_hour
 
@@ -232,6 +259,34 @@ class TestCoordinatorSmoke:
 
         with pytest.raises(WorkerCrashed, match="_explode"):
             call_in_subprocess(_explode, timeout_s=120.0)
+
+
+class TestWorkerCrashDiagnostics:
+    def test_in_process_setup_crash_carries_shard_and_cause(self):
+        from repro.fleet.worker import WorkerCrashed
+
+        with pytest.raises(WorkerCrashed) as excinfo:
+            run_fleet(
+                2, 2, seed=0, hours=0.01, processes=False,
+                workload="crash-canary",
+            )
+        exc = excinfo.value
+        assert exc.shard_id == "fleet/0"
+        assert exc.cause == "RuntimeError: crash canary tripped"
+
+    def test_spawned_setup_crash_carries_shard_and_cause(self):
+        from repro.fleet.worker import WorkerCrashed
+
+        with pytest.raises(WorkerCrashed) as excinfo:
+            run_fleet(
+                2, 2, seed=0, hours=0.01, processes=True,
+                workload="crash-canary", barrier_timeout_s=120.0,
+            )
+        exc = excinfo.value
+        assert exc.shard_id == "fleet/0"
+        # One line, extracted from the child's traceback.
+        assert exc.cause == "RuntimeError: crash canary tripped"
+        assert "\n" not in exc.cause
 
 
 def _explode():

@@ -197,3 +197,36 @@ class TestBenchFleetParsing:
     def test_resolve_reports_bad_env_instead_of_ignoring(self):
         with pytest.raises(ValueError, match="REPRO_BENCH_FLEET"):
             resolve_fleets(None, env={"REPRO_BENCH_FLEET": "many"})
+
+
+class TestParallelRate:
+    def test_normal_rate(self):
+        from repro.bench import parallel_rate
+
+        assert parallel_rate(1000, 2.0) == 500.0
+
+    def test_zero_and_subresolution_critical_path_yield_none(self):
+        # A degenerate run must emit null, not a divide-by-~0 absurdity.
+        from repro.bench import parallel_rate
+
+        assert parallel_rate(1000, 0.0) is None
+        assert parallel_rate(1000, 1e-9) is None
+        assert parallel_rate(0, 0.0) is None
+        assert parallel_rate(1000, None) is None
+
+    def test_null_rate_renders_in_report(self):
+        from repro.bench import render_report
+
+        report = {
+            "workload": "battery-monitor",
+            "seed": 0,
+            "config": {"spans": False, "metrics": False},
+            "fleets": [{
+                "devices": 0, "shards": 2, "events": 0, "wall_s": 0.001,
+                "wall_s_mean": 0.001, "events_per_s": 0.0, "speedup": 0.0,
+                "critical_path_s": 0.0, "events_per_s_parallel": None,
+            }],
+            "determinism": {"report_sha256": "0" * 64},
+        }
+        text = render_report(report)
+        assert "parallel rate n/a" in text
