@@ -217,3 +217,18 @@ ROGUEFINDER_TASK = """\
     (Polygon (Point 1 1) (Point 2 2)
     (Point 3 0))))
 """
+
+
+def accepted_jids(
+    task: AnonyTLTask, attributes_by_jid: Dict[str, Dict[str, str]]
+) -> List[str]:
+    """JIDs whose attributes satisfy the task's Accept predicate.
+
+    Pure and order-insensitive (sorted output), so scenario workloads can
+    compute the same target set on every shard independently.
+    """
+    return sorted(
+        jid
+        for jid, attributes in attributes_by_jid.items()
+        if task.accept is None or task.accept.matches(attributes)
+    )

@@ -3,6 +3,7 @@
 from . import (
     activity_monitor,
     battery_monitor,
+    contact_tracing,
     deployment_study,
     localization,
     noise_map,
@@ -12,6 +13,7 @@ from . import (
 __all__ = [
     "activity_monitor",
     "battery_monitor",
+    "contact_tracing",
     "deployment_study",
     "localization",
     "noise_map",

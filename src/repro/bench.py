@@ -201,6 +201,53 @@ def determinism_hashes(seed: int = 7) -> Dict[str, str]:
     return hashes
 
 
+#: Scenario-engine presets baked into the artifact's structural plane,
+#: run at SCENARIO_SCALE so the benchmark stays laptop-fast while still
+#: pinning the generative-workload event counts and report bytes.
+SCENARIO_ROWS = ("commuter-surge", "contact-tracing")
+SCENARIO_SCALE = 0.25
+
+
+def run_scenario_rows(
+    names: Sequence[str] = SCENARIO_ROWS,
+    scale: float = SCENARIO_SCALE,
+    progress=None,
+) -> List[Dict[str, Any]]:
+    """Run each scenario preset solo and distill it to a structural row.
+
+    ``report_sha256`` hashes the canonical report — the same bytes the
+    golden-gated conformance suite pins — so a behaviour change in the
+    scenario engine surfaces in the benchmark diff, not just in CI.
+    ``wall_s`` is timing-plane only and excluded from the structural
+    view.
+    """
+    from .scenarios import build_preset, run_scenario_spec, report_json
+
+    rows: List[Dict[str, Any]] = []
+    for name in names:
+        if progress is not None:
+            progress(f"scenario {name} @ x{scale} ...")
+        spec = build_preset(name, scale=scale)
+        t0 = time.perf_counter()
+        result = run_scenario_spec(spec)
+        wall = time.perf_counter() - t0
+        report = result.report
+        rows.append(
+            {
+                "scenario": name,
+                "devices": spec.devices,
+                "hours": spec.hours,
+                "events": report["fleet"]["events_executed"],
+                "violations": report["invariants"]["violation_count"],
+                "report_sha256": _sha256(
+                    report_json(report).encode("utf-8")
+                ),
+                "wall_s": round(wall, 6),
+            }
+        )
+    return rows
+
+
 # ---------------------------------------------------------------------------
 # Artifact
 # ---------------------------------------------------------------------------
@@ -261,6 +308,7 @@ def run_benchmark(
         # depends on how fast the box is.
         row["gated"] = True
         rows.append(row)
+    scenario_rows = run_scenario_rows(progress=progress)
     if progress is not None:
         progress("determinism hashes ...")
     hashes = determinism_hashes()
@@ -276,6 +324,7 @@ def run_benchmark(
         "hours": hours,
         "config": {"spans": False, "metrics": False},
         "fleets": rows,
+        "scenarios": scenario_rows,
         "determinism": {"events_by_fleet": events_by_fleet, **hashes},
         "environment": {
             "python": platform.python_version(),
@@ -301,6 +350,10 @@ def structural_view(report: Dict[str, Any]) -> Dict[str, Any]:
         }
         for row in report.get("fleets", ())
         if not row.get("gated")
+    ]
+    view["scenarios"] = [
+        {key: value for key, value in row.items() if key != "wall_s"}
+        for row in report.get("scenarios", ())
     ]
     return view
 
@@ -329,6 +382,16 @@ def render_report(report: Dict[str, Any]) -> str:
             f"{row['events_per_s']:>12,.0f} {row['speedup']:>11,.0f}x"
             + (f"  ({', '.join(notes)})" if notes else "")
         )
+    if report.get("scenarios"):
+        lines.append("")
+        lines.append("scenario presets (structural rows, solo run):")
+        for row in report["scenarios"]:
+            lines.append(
+                f"  {row['scenario']:<18} {row['devices']:>4} devices "
+                f"{row['hours']:>6.2f} h {row['events']:>10,} events "
+                f"{row['violations']} violations "
+                f"sha256:{row['report_sha256'][:16]}..."
+            )
     lines.append("")
     lines.append("determinism (must be identical on every machine):")
     for name, value in sorted(report["determinism"].items()):

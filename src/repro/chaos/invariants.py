@@ -188,9 +188,18 @@ class _SchedulerWitness:
 class InvariantMonitor:
     """Attaches witnesses across a simulation and accumulates violations."""
 
-    def __init__(self, sim: PogoSimulation, check_interval_ms: float = 30 * SECOND) -> None:
+    def __init__(
+        self,
+        sim: PogoSimulation,
+        check_interval_ms: Optional[float] = 30 * SECOND,
+    ) -> None:
         self.sim = sim
         self.kernel = sim.kernel
+        #: ``None`` makes the monitor a pure observer: witnesses still
+        #: watch every link and scheduler, but no periodic check event is
+        #: ever scheduled, so attaching it cannot change the kernel's
+        #: event count.  Scenario runs use this so solo and sharded
+        #: executions stay byte-identical.
         self.check_interval_ms = check_interval_ms
         self.violations: List[Violation] = []
         self._witnesses: Dict[Tuple[str, str], _LinkWitness] = {}
@@ -218,7 +227,8 @@ class InvariantMonitor:
             for link in node.links.values():
                 self._attach_link(jid, link)
             node.on_link_created.append(partial(self._attach_link, jid))
-        self.kernel.schedule(self.check_interval_ms, self._periodic)
+        if self.check_interval_ms is not None:
+            self.kernel.schedule(self.check_interval_ms, self._periodic)
 
     def _attach_link(self, owner: str, link: ReliableLink) -> None:
         witness = _LinkWitness(self, owner, link)
@@ -273,6 +283,16 @@ class InvariantMonitor:
 
     def _judge_direction(self, witness: _LinkWitness, expect_quiesced: bool) -> None:
         """Judge the witness's *sender* direction (owner -> peer)."""
+        if (
+            witness.peer not in self.sim.devices
+            and witness.peer not in self.sim.collectors
+        ):
+            # Cross-shard boundary link: delivery and acking happen on
+            # the peer's shard, invisible to this monitor.  Conservation
+            # across the boundary is gated fleet-wide by the sharded-vs-
+            # solo report parity instead of judged here (a per-shard
+            # judgement would flag every healthy boundary link).
+            return
         mate = self._witnesses.get((witness.peer, witness.owner))
         link = witness.link
         # The witness reads protocol-private state; it never writes it.

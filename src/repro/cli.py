@@ -17,6 +17,10 @@ trace            message lifecycle tracing: per-hop latency, span tree,
                  per-message energy attribution (supports --json/--export)
 chaos            deterministic fault injection + invariant verdict
                  (scenario presets, --report JSON, --inject-bug canary)
+scenarios        generative city-scale workload presets (commuter surge,
+                 stadium crowds, contact tracing, noise-map campaigns);
+                 runs solo or sharded under the invariant monitor and
+                 emits a canonical byte-deterministic report
 bench            fleet-scaling kernel benchmark; emits the canonical
                  BENCH_kernel.json artifact (machine-comparable)
 fleet            one simulation partitioned across shard worker
@@ -115,6 +119,34 @@ def _build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--inject-bug", choices=list(_chaos.BUGS), default=None,
                        help="deliberately break the middleware to prove the "
                             "monitor catches it")
+
+    scenarios = sub.add_parser(
+        "scenarios", help="generative city-scale workload presets"
+    )
+    scenarios.add_argument("--preset", default="commuter-surge",
+                           help="preset name (see --list)")
+    scenarios.add_argument("--list", action="store_true",
+                           help="list the scenario presets and exit")
+    scenarios.add_argument("--scale", type=float, default=1.0,
+                           help="shrink devices/hours proportionally "
+                                "(0.25 = quarter size)")
+    scenarios.add_argument("--shards", type=int, default=1,
+                           help="partition across this many shard workers "
+                                "(the report is byte-identical to --shards 1)")
+    scenarios.add_argument("--in-process", action="store_true",
+                           help="drive the shards in this process (no spawn "
+                                "cost; byte-identical results)")
+    scenarios.add_argument("--report", metavar="PATH",
+                           help="write the canonical report JSON to PATH")
+    scenarios.add_argument("--json", action="store_true",
+                           help="print the canonical JSON report instead of "
+                                "text")
+    scenarios.add_argument("--telemetry", metavar="FILE",
+                           help="sample every shard at each barrier and write "
+                                "the timeline as deterministic JSONL")
+    scenarios.add_argument("--seed", type=int, default=argparse.SUPPRESS,
+                           help="experiment seed (also accepted before the "
+                                "subcommand)")
 
     bench = sub.add_parser(
         "bench", help="fleet-scaling kernel benchmark -> BENCH_kernel.json"
@@ -570,6 +602,69 @@ def cmd_chaos(args) -> int:
     return 1 if report["violation_count"] else 0
 
 
+def cmd_scenarios(args) -> int:
+    import dataclasses
+
+    from . import scenarios as _scenarios
+    from .fleet import FleetError, WorkerCrashed
+
+    if args.list:
+        for name in _scenarios.preset_names():
+            spec = _scenarios.build_preset(name)
+            tag = " (long)" if name in _scenarios.LONG_PRESETS else ""
+            print(
+                f"{name:<20} {spec.devices:>4} devices {spec.hours:>6.1f} h  "
+                f"{len(spec.surges)} surge(s), "
+                f"{len(spec.campaigns)} campaign(s){tag}"
+            )
+        return 0
+    try:
+        spec = _scenarios.build_preset(args.preset, scale=args.scale)
+    except KeyError:
+        print(
+            f"scenarios: unknown preset {args.preset!r} "
+            f"(choose from {_scenarios.preset_names()})",
+            file=sys.stderr,
+        )
+        return 2
+    except ValueError as exc:
+        print(f"scenarios: {exc}", file=sys.stderr)
+        return 2
+    if args.seed != spec.seed:
+        spec = dataclasses.replace(spec, seed=args.seed)
+        spec.validate()
+    try:
+        result = _scenarios.run_scenario_spec(
+            spec,
+            shards=args.shards,
+            processes=(False if args.in_process else None),
+            telemetry=bool(args.telemetry),
+        )
+    except WorkerCrashed as exc:
+        print(_crash_line(exc), file=sys.stderr)
+        return 1
+    except FleetError as exc:
+        print(f"scenarios: {exc}", file=sys.stderr)
+        return 1
+    from .analysis.export import write_text
+
+    if args.telemetry:
+        from .obs.timeline import timeline_to_jsonl
+
+        write_text(args.telemetry, timeline_to_jsonl(result.fleet.timeline))
+    if args.report:
+        write_text(args.report, result.report_json)
+    if args.json:
+        print(result.report_json, end="")
+    else:
+        print(_scenarios.render_report(result.report))
+        if args.telemetry:
+            print(f"  telemetry timeline -> {args.telemetry}")
+        if args.report:
+            print(f"  canonical report -> {args.report}")
+    return 1 if result.report["invariants"]["violation_count"] else 0
+
+
 def cmd_bench(args) -> int:
     from . import bench as _bench
 
@@ -713,6 +808,7 @@ _COMMANDS = {
     "metrics": cmd_metrics,
     "trace": cmd_trace,
     "chaos": cmd_chaos,
+    "scenarios": cmd_scenarios,
     "bench": cmd_bench,
     "fleet": cmd_fleet,
     "top": cmd_top,

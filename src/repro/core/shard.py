@@ -43,7 +43,7 @@ from typing import Any, Dict, List, NamedTuple, Optional, Tuple
 
 from ..device.apps import EmailApp, EmailConfig
 from ..device.phone import Phone
-from ..device.radio import KPN, CarrierProfile
+from ..device.radio import CARRIERS, KPN, CarrierProfile
 from ..net.xmpp import XmppServer
 from ..obs.telemetry import ShardTelemetry
 from ..sensors.accelerometer import AccelerometerSensor
@@ -104,6 +104,10 @@ class DeviceSpec:
     track_power_history: bool = False
     capabilities: Optional[frozenset] = None
     jid: Optional[str] = None
+    #: Carrier *name* (key into :data:`~repro.device.radio.CARRIERS`);
+    #: ``None`` means the shard's default carrier.  A name, not a
+    #: profile, so the spec stays plain data for multi-carrier rosters.
+    carrier: Optional[str] = None
 
 
 class Handoff(NamedTuple):
@@ -297,6 +301,11 @@ class Shard:
                 self.add_collector(name)
             for device_spec in spec.devices:
                 self.add_device(
+                    carrier=(
+                        CARRIERS[device_spec.carrier]
+                        if device_spec.carrier is not None
+                        else None
+                    ),
                     with_sensors=device_spec.with_sensors,
                     with_email_app=device_spec.with_email_app,
                     world_days=device_spec.world_days,
@@ -381,11 +390,30 @@ class Shard:
         node.sensor_manager.register(accel)
         node.sensor_manager.register(microphone)
         if device.user_world is not None:
-            world = device.user_world
-            phone.wifi.scan_source = _WorldScanSource(world, self.kernel)
-            location.position_source = _WorldPositionSource(world, self.kernel)
-            microphone.level_source = _WorldAmbientSource(world, self.kernel)
-            accel.activity_source = _WorldActivitySource(world, self.kernel)
+            self._wire_world(device)
+
+    def _wire_world(self, device: SimulatedDevice) -> None:
+        """Point the device's sensors at its world's ground truth."""
+        world = device.user_world
+        sensors = device.node.sensor_manager.sensors
+        device.phone.wifi.scan_source = _WorldScanSource(world, self.kernel)
+        sensors["locations"].position_source = _WorldPositionSource(world, self.kernel)
+        sensors["audio"].level_source = _WorldAmbientSource(world, self.kernel)
+        sensors["accel"].activity_source = _WorldActivitySource(world, self.kernel)
+
+    def attach_world(self, jid: str, world: UserWorld) -> None:
+        """Attach a pre-built world to an already-enrolled device.
+
+        Scenario workloads build worlds *after* spec construction (the
+        roster comes from a compiled :class:`ShardSpec`, the worlds from
+        the scenario's own derived randomness).  Must happen before
+        :meth:`start`, which installs the connectivity driver.
+        """
+        if self._started:
+            raise RuntimeError("attach_world must be called before start()")
+        device = self.devices[jid]
+        device.user_world = world
+        self._wire_world(device)
 
     # ------------------------------------------------------------------
     # Wiring and running

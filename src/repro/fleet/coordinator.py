@@ -76,6 +76,10 @@ class FleetResult:
     #: Coordinator health verdict derived from the timeline — slow or
     #: stalled shards, barrier imbalance (``None`` without telemetry).
     health: Optional[Dict[str, Any]] = None
+    #: Per-shard workload extras (``artifacts["extra"]``), in shard
+    #: order.  The scenario runner merges its per-shard summaries from
+    #: here; ``None`` entries mean the shard had nothing to add.
+    shard_extras: Tuple[Any, ...] = ()
 
     @property
     def events(self) -> int:
@@ -123,9 +127,20 @@ class _LocalWorker:
 
     def post_advance(self, barrier_ms: float, handoffs: List[Handoff]) -> None:
         t0 = process_time()
-        if handoffs:
-            self.shard.ingress(handoffs)
-        out = self.shard.run_until_epoch(barrier_ms)
+        try:
+            if handoffs:
+                self.shard.ingress(handoffs)
+            out = self.shard.run_until_epoch(barrier_ms)
+        except WorkerCrashed:
+            raise
+        except Exception as exc:
+            # Same structured surface as a spawned worker that raised
+            # mid-epoch (the coordinator stamps barriers/barrier_ms).
+            raise WorkerCrashed(
+                f"worker {self.shard_id} raised mid-epoch: {exc}",
+                shard_id=self.shard_id,
+                cause=f"{type(exc).__name__}: {exc}",
+            ) from exc
         self._busy_s += process_time() - t0
         self._epoch += 1
         # In-process workers never block on a pipe, so stall is zero by
@@ -255,6 +270,7 @@ def run_fleet(
     barrier_timeout_s: float = 600.0,
     telemetry: bool = False,
     observer: Optional[Callable[[Dict[str, Any]], None]] = None,
+    workload_ctx: Optional[Dict[str, Any]] = None,
 ) -> FleetResult:
     """Run one fleet partitioned across ``shards`` workers and merge.
 
@@ -303,6 +319,10 @@ def run_fleet(
         "deploy_jids": plan.device_jids,
         "collector_jids": plan.collector_jids,
     }
+    if workload_ctx:
+        # Extra workload inputs (e.g. the ScenarioSpec) ride along; they
+        # must be picklable — the ctx crosses the spawn pipe as data.
+        fleet_ctx.update(workload_ctx)
     wall_start = perf_counter()
     workers: List[Any] = []
     try:
@@ -443,4 +463,5 @@ def run_fleet(
         ),
         timeline=timeline,
         health=fleet_health(timeline) if timeline is not None else None,
+        shard_extras=tuple(artifact.get("extra") for artifact in artifacts),
     )

@@ -135,10 +135,16 @@ def setup_crash_canary(
 
 #: Workload name → setup callable, looked up by the worker loop.  Names,
 #: not callables, cross the pipe — the registry keeps spawn picklability
-#: trivial and gives misconfiguration a clean error.
+#: trivial and gives misconfiguration a clean error.  (The scenario
+#: workload imports only core/apps/world modules, never this package, so
+#: the module-level import is cycle-free.)
+from ..scenarios.workload import setup_scenario, setup_scenario_crash
+
 WORKLOADS = {
     "battery-monitor": setup_battery_monitor,
     "crash-canary": setup_crash_canary,
+    "scenario": setup_scenario,
+    "scenario-crash-mid-epoch": setup_scenario_crash,
 }
 
 
@@ -152,6 +158,7 @@ def collect_artifacts(shard: Shard, busy_s: float = 0.0) -> Dict[str, Any]:
     fleet's wall time once every worker has its own core.
     """
     from ..analysis.export import spans_to_jsonl
+    from ..scenarios.workload import scenario_summary
 
     return {
         "shard_id": shard.shard_id,
@@ -159,6 +166,8 @@ def collect_artifacts(shard: Shard, busy_s: float = 0.0) -> Dict[str, Any]:
         "metrics": shard.kernel.metrics.snapshot(),
         "trace_jsonl": spans_to_jsonl(shard.kernel.spans) or "",
         "busy_s": busy_s,
+        # Workload-specific extras; None for non-scenario shards.
+        "extra": scenario_summary(shard),
     }
 
 

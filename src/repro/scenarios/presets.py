@@ -1,0 +1,199 @@
+"""The named scenario catalog.
+
+Each preset is a builder parameterized by ``scale`` so the same scenario
+serves three audiences: full scale for day-length studies, ``--scale
+0.25`` for CI conformance gates, and tiny scales for unit tests.  Scale
+multiplies the device count and the duration; surge windows are defined
+as *fractions* of the run so they scale along.
+
+``metro-day`` is the city-scale flagship (10k+ places, multiple surges,
+three concurrent campaigns); it is long by construction and therefore
+gated behind ``REPRO_SCENARIO_LONG`` in the test suite.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..world.city import VenueSpec
+from .spec import CampaignSpec, ScenarioSpec, SurgeSpec
+
+
+def _devices(base: int, scale: float) -> int:
+    return max(2, round(base * scale))
+
+
+def _hours(base: float, scale: float) -> float:
+    return max(1.0, round(base * scale, 3))
+
+
+def _window(hours: float, start_frac: float, end_frac: float):
+    return round(hours * start_frac, 3), round(hours * end_frac, 3)
+
+
+def _commuter_surge(scale: float) -> ScenarioSpec:
+    hours = _hours(11.0, scale)
+    start_h, end_h = _window(hours, 0.62, 0.84)
+    return ScenarioSpec(
+        name="commuter-surge",
+        devices=_devices(24, scale),
+        hours=hours,
+        carriers=("KPN", "T-Mobile"),
+        city_places=160,
+        venues=(
+            VenueSpec(
+                "business-park", category="office", radius_m=180.0,
+                ap_count=32, has_wifi_internet=True,
+            ),
+        ),
+        surges=(
+            SurgeSpec(
+                "morning-crush", "business-park", start_h, end_h,
+                attendance=0.7, contention=0.5,
+            ),
+        ),
+        campaigns=(
+            CampaignSpec("battery-monitor"),
+            CampaignSpec("anonytl", carrier="KPN"),
+        ),
+    )
+
+
+def _stadium_evening(scale: float) -> ScenarioSpec:
+    hours = _hours(23.0, scale)
+    start_h, end_h = _window(hours, 0.80, 0.95)
+    return ScenarioSpec(
+        name="stadium-evening",
+        devices=_devices(30, scale),
+        hours=hours,
+        carriers=("KPN", "Vodafone"),
+        city_places=200,
+        venues=(
+            VenueSpec("stadium", category="stadium", radius_m=150.0, ap_count=40),
+        ),
+        surges=(
+            SurgeSpec(
+                "kickoff", "stadium", start_h, end_h,
+                attendance=0.6, contention=0.5, flaps=3,
+            ),
+        ),
+        campaigns=(
+            CampaignSpec("noise-map"),
+            CampaignSpec("battery-monitor"),
+        ),
+    )
+
+
+def _contact_tracing(scale: float) -> ScenarioSpec:
+    hours = _hours(12.0, scale)
+    start_h, end_h = _window(hours, 0.45, 0.65)
+    return ScenarioSpec(
+        name="contact-tracing",
+        devices=_devices(16, scale),
+        hours=hours,
+        carriers=("KPN",),
+        city_places=96,
+        venues=(
+            VenueSpec("market-square", category="generic", radius_m=90.0, ap_count=20),
+        ),
+        surges=(
+            SurgeSpec(
+                "midday-market", "market-square", start_h, end_h,
+                attendance=0.8, contention=0.25,
+            ),
+        ),
+        campaigns=(
+            CampaignSpec("contact-tracing"),
+            CampaignSpec("battery-monitor", subset="even"),
+        ),
+    )
+
+
+def _noise_map_campaign(scale: float) -> ScenarioSpec:
+    hours = _hours(24.0, scale)
+    start_h, end_h = _window(hours, 0.82, 0.96)
+    return ScenarioSpec(
+        name="noise-map-campaign",
+        devices=_devices(20, scale),
+        hours=hours,
+        carriers=("KPN", "T-Mobile", "Vodafone"),
+        city_places=240,
+        venues=(
+            VenueSpec("concert-hall", category="stadium", radius_m=80.0, ap_count=16),
+        ),
+        surges=(
+            SurgeSpec(
+                "evening-concert", "concert-hall", start_h, end_h,
+                attendance=0.5, contention=0.3,
+            ),
+        ),
+        campaigns=(CampaignSpec("noise-map"),),
+    )
+
+
+def _metro_day(scale: float) -> ScenarioSpec:
+    hours = _hours(24.0, scale)
+    rush_start, rush_end = _window(hours, 0.30, 0.40)
+    match_start, match_end = _window(hours, 0.78, 0.93)
+    return ScenarioSpec(
+        name="metro-day",
+        devices=_devices(60, scale),
+        hours=hours,
+        carriers=("KPN", "T-Mobile", "Vodafone"),
+        city_places=12_000,
+        venues=(
+            VenueSpec(
+                "central-station", category="generic", radius_m=200.0,
+                ap_count=48, has_wifi_internet=True,
+            ),
+            VenueSpec("arena", category="stadium", radius_m=160.0, ap_count=40),
+        ),
+        surges=(
+            SurgeSpec(
+                "rush-hour", "central-station", rush_start, rush_end,
+                attendance=0.65, contention=0.4, flaps=3,
+            ),
+            SurgeSpec(
+                "evening-match", "arena", match_start, match_end,
+                attendance=0.45, contention=0.5, flaps=3,
+            ),
+        ),
+        campaigns=(
+            CampaignSpec("battery-monitor"),
+            CampaignSpec("noise-map", subset="odd"),
+            CampaignSpec("contact-tracing"),
+        ),
+    )
+
+
+#: Preset name → builder.  Ordering is the catalog's display order.
+PRESETS: Dict[str, Callable[[float], ScenarioSpec]] = {
+    "commuter-surge": _commuter_surge,
+    "stadium-evening": _stadium_evening,
+    "contact-tracing": _contact_tracing,
+    "noise-map-campaign": _noise_map_campaign,
+    "metro-day": _metro_day,
+}
+
+#: Presets too long for tier-1; the test suite runs them only when
+#: ``REPRO_SCENARIO_LONG`` is set.
+LONG_PRESETS = frozenset({"metro-day"})
+
+
+def build_preset(name: str, scale: float = 1.0) -> ScenarioSpec:
+    """Build the named preset at the given scale (validated)."""
+    try:
+        builder = PRESETS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario preset {name!r}; known: {', '.join(PRESETS)}"
+        ) from None
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    spec = builder(scale)
+    spec.validate()
+    return spec
+
+
+def preset_names() -> List[str]:
+    return list(PRESETS)

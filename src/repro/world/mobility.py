@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import bisect
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..sim.kernel import DAY, HOUR, MINUTE
@@ -262,3 +262,68 @@ class TimelineBuilder:
             self._dwell_until(self._cursor_ms + max(20.0, duration_min) * MINUTE)
             self._travel_to(self.places["home"][0], self._short_hop_ms())
             cursor_h = (self._cursor_ms - day_start) / HOUR + rng.gauss(2.0, 0.7)
+
+
+def splice_surge(
+    timeline: Timeline,
+    venue: Place,
+    start_ms: float,
+    end_ms: float,
+    rng: random.Random,
+) -> Timeline:
+    """Overlay a crowd-surge venue visit onto an existing timeline.
+
+    Whatever the user was doing during ``[start_ms, end_ms)`` is replaced
+    by travel to the venue, a dwell there, and travel back onto the
+    original itinerary — the structural ingredient of a stadium evening
+    or commuter crush.  The surrounding segments are preserved (straddlers
+    are truncated at the window edges), so splicing one user's surge never
+    perturbs anyone else's timeline.
+    """
+    if not start_ms < end_ms:
+        raise ValueError("surge window must have start < end")
+    if start_ms < timeline.start_ms or end_ms > timeline.end_ms:
+        raise ValueError("surge window must lie within the timeline")
+
+    entry = timeline.position_at(start_ms)
+    exit_ = timeline.position_at(end_ms)
+
+    before: List[Segment] = []
+    after: List[Segment] = []
+    for seg in timeline.segments:
+        if seg.end_ms <= start_ms:
+            before.append(seg)
+        elif seg.start_ms >= end_ms:
+            after.append(seg)
+        else:
+            if seg.start_ms < start_ms:
+                if seg.kind == DWELL:
+                    head = replace(seg, end_ms=start_ms)
+                else:
+                    head = replace(
+                        seg, end_ms=start_ms, destination=seg.position_at(start_ms)
+                    )
+                if head.duration_ms > 1e-9:
+                    before.append(head)
+            if seg.end_ms > end_ms:
+                if seg.kind == DWELL:
+                    tail = replace(seg, start_ms=end_ms)
+                else:
+                    tail = replace(
+                        seg, start_ms=end_ms, origin=seg.position_at(end_ms)
+                    )
+                if tail.duration_ms > 1e-9:
+                    after.append(tail)
+
+    window = end_ms - start_ms
+    travel_in = min(window / 3.0, max(4 * MINUTE, rng.gauss(15.0, 4.0) * MINUTE))
+    travel_out = min(window / 3.0, max(4 * MINUTE, rng.gauss(15.0, 4.0) * MINUTE))
+    mid = [
+        Segment(TRAVEL, start_ms, start_ms + travel_in,
+                origin=entry, destination=venue.center),
+        Segment(DWELL, start_ms + travel_in, end_ms - travel_out, place=venue),
+        Segment(TRAVEL, end_ms - travel_out, end_ms,
+                origin=venue.center, destination=exit_),
+    ]
+    return Timeline(before + mid + after)
+

@@ -288,6 +288,39 @@ class TestWorkerCrashDiagnostics:
         assert exc.cause == "RuntimeError: crash canary tripped"
         assert "\n" not in exc.cause
 
+    def _mid_epoch_crash(self, processes):
+        from repro.fleet.worker import WorkerCrashed
+        from repro.scenarios import ScenarioSpec
+
+        spec = ScenarioSpec(name="crashy", seed=5, devices=4, hours=0.25,
+                            city_places=16)
+        with pytest.raises(WorkerCrashed) as excinfo:
+            run_fleet(
+                spec=spec.compile(), shards=2, duration_ms=0.25 * 3_600_000.0,
+                workload="scenario-crash-mid-epoch",
+                workload_ctx={"scenario": spec},
+                processes=processes, barrier_timeout_s=120.0,
+            )
+        return excinfo.value
+
+    def test_in_process_mid_epoch_crash_is_stamped_with_barrier_progress(self):
+        # The bomb detonates at t=1000 ms, several 80 ms epochs in — the
+        # coordinator must stamp which barrier the fleet had reached, not
+        # just that a worker died during setup.
+        exc = self._mid_epoch_crash(processes=False)
+        assert exc.shard_id.endswith("/0")  # device-1 hosts the bomb
+        assert exc.cause == "RuntimeError: scenario mid-epoch crash canary"
+        assert "\n" not in exc.cause
+        assert exc.barriers is not None and exc.barriers >= 1
+        assert exc.barrier_ms is not None and exc.barrier_ms > 0.0
+
+    def test_spawned_mid_epoch_crash_is_stamped_with_barrier_progress(self):
+        exc = self._mid_epoch_crash(processes=True)
+        assert exc.shard_id.endswith("/0")
+        assert exc.cause == "RuntimeError: scenario mid-epoch crash canary"
+        assert exc.barriers is not None and exc.barriers >= 1
+        assert exc.barrier_ms is not None and exc.barrier_ms > 0.0
+
 
 def _explode():
     raise RuntimeError("boom from the worker")

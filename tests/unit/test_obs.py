@@ -219,6 +219,38 @@ class TestHealth:
         timeline.append(1, 80.0, samples, 0, 0, 0.01)
         assert "balanced" in render_health(fleet_health(timeline))
 
+    def _health_for_cpus(self, cpus):
+        timeline = FleetTimeline("f", 4, len(cpus))
+        samples = _frame_samples(80.0, shards=len(cpus))
+        for sample, cpu in zip(samples, cpus):
+            sample["wall"]["cpu_s"] = cpu
+        timeline.append(1, 80.0, samples, 0, 0, 0.01)
+        return fleet_health(timeline)
+
+    def test_exactly_at_slow_factor_is_not_slow(self):
+        # cpu [3.0, 1.0]: mean 2.0, threshold 1.5x mean = 3.0 — the slow
+        # flag requires strictly greater, so the boundary shard passes.
+        health = self._health_for_cpus([3.0, 1.0])
+        assert health["slow_shards"] == []
+        # The same frame still trips the imbalance flag (1.5 > 1.25).
+        assert "barrier imbalance" in render_health(health)
+
+    def test_just_past_slow_factor_is_flagged(self):
+        health = self._health_for_cpus([3.000003, 1.0])
+        assert health["slow_shards"] == ["f/0"]
+
+    def test_exactly_at_imbalance_flag_renders_balanced(self):
+        # max/mean = 1.25/1.0 — the flag requires strictly greater.
+        health = self._health_for_cpus([1.25, 0.75])
+        assert health["imbalance"] == 1.25
+        assert "balanced" in render_health(health)
+
+    def test_just_past_imbalance_flag_is_reported(self):
+        health = self._health_for_cpus([1.3, 0.7])
+        assert health["imbalance"] == 1.3
+        assert health["slow_shards"] == []  # imbalance alone, not slowness
+        assert "barrier imbalance 1.30x" in render_health(health)
+
     def test_missing_rss_renders_as_zero(self):
         timeline = FleetTimeline("f", 4, 2)
         samples = _frame_samples(80.0)

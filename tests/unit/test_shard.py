@@ -214,6 +214,16 @@ class TestParallelRate:
         assert parallel_rate(0, 0.0) is None
         assert parallel_rate(1000, None) is None
 
+    def test_exactly_at_min_critical_path_is_a_real_rate(self):
+        # The cutoff is strictly-below: a path of exactly
+        # MIN_CRITICAL_PATH_S still divides.
+        from repro.bench import MIN_CRITICAL_PATH_S, parallel_rate
+
+        assert parallel_rate(10, MIN_CRITICAL_PATH_S) == round(
+            10 / MIN_CRITICAL_PATH_S, 1
+        )
+        assert parallel_rate(10, MIN_CRITICAL_PATH_S * 0.999) is None
+
     def test_null_rate_renders_in_report(self):
         from repro.bench import render_report
 
@@ -230,3 +240,37 @@ class TestParallelRate:
         }
         text = render_report(report)
         assert "parallel rate n/a" in text
+
+
+class TestScenarioBenchRows:
+    _ROW = {
+        "scenario": "commuter-surge", "devices": 6, "hours": 2.75,
+        "events": 11751, "violations": 0, "report_sha256": "a" * 64,
+        "wall_s": 0.5,
+    }
+
+    def test_structural_view_keeps_rows_but_strips_wall_time(self):
+        from repro.bench import structural_view
+
+        view = structural_view({
+            "schema": "bench_kernel/1", "fleets": [],
+            "scenarios": [dict(self._ROW)],
+        })
+        (row,) = view["scenarios"]
+        assert "wall_s" not in row
+        assert row["events"] == 11751
+        assert row["report_sha256"] == "a" * 64
+
+    def test_scenario_rows_render_in_the_text_report(self):
+        from repro.bench import render_report
+
+        report = {
+            "workload": "w", "seed": 0,
+            "config": {"spans": False, "metrics": False},
+            "fleets": [],
+            "scenarios": [dict(self._ROW)],
+            "determinism": {},
+        }
+        text = render_report(report)
+        assert "scenario presets" in text
+        assert "commuter-surge" in text
