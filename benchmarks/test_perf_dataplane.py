@@ -1,0 +1,89 @@
+"""Performance: the fleet data plane — wire frames vs per-stanza pickle.
+
+The data-plane overhaul's headline claim: batching a barrier's handoffs
+into one struct-packed, zlib-compressed frame cuts the bytes crossing
+the worker pipes by well over 5x against the per-``Handoff`` pickle
+stream it replaced.  This benchmark captures the real traffic of a
+spawned fleet (via ``FleetResult.handoff_bytes``), re-prices the same
+handoffs the old way (one ``pickle.dumps`` per record, the pre-PR wire
+format), and asserts the reduction floor.
+
+Also recorded: the barrier count the adaptive horizon produced and the
+coordinator overhead (``wall - critical path``) — trend data for the
+report file, not gated.
+"""
+
+import pickle
+
+from repro.fleet import run_fleet
+from repro.fleet.wire import decode_batch, encode_batch
+
+
+def _pickle_cost(handoffs):
+    """Bytes the pre-PR plane paid: one pickle per handoff, each way."""
+    return sum(
+        len(pickle.dumps(h, protocol=pickle.HIGHEST_PROTOCOL))
+        for h in handoffs
+    )
+
+
+def test_perf_wire_vs_pickle_bytes(report):
+    # A spawned fleet big enough for real cross-shard traffic but small
+    # enough for CI.  handoff_bytes counts every frame both directions.
+    result = run_fleet(60, 4, seed=9, hours=0.35, processes=True,
+                       barrier_timeout_s=300.0)
+    assert result.handoffs > 100, "fleet too quiet to measure"
+
+    # Re-price the same logical traffic the old way.  Reconstruct a
+    # representative batch stream by re-running in-process and capturing
+    # per-barrier outboxes via the codec itself: encode/decode is
+    # identity, so decoding each worker's frames would yield the same
+    # handoffs; instead we simply re-run solo-captured handoffs.
+    # Cheaper and exact: one frame round-trip per synthetic batch.
+    inproc = run_fleet(60, 4, seed=9, hours=0.35, processes=False)
+    assert inproc.handoffs == result.handoffs
+
+    # Capture actual handoff objects by instrumenting a fresh run.
+    captured = []
+    from repro.fleet import coordinator as coord
+
+    original = coord._handoff_sort_key
+
+    def spy(handoff):
+        captured.append(handoff)
+        return original(handoff)
+
+    coord._handoff_sort_key = spy
+    try:
+        run_fleet(60, 4, seed=9, hours=0.35, processes=False)
+    finally:
+        coord._handoff_sort_key = original
+
+    assert len(captured) == result.handoffs
+    pickled = _pickle_cost(captured)
+    wire = len(encode_batch(captured))
+    assert decode_batch(encode_batch(captured)) == captured
+
+    ratio_measured = pickled / max(1, result.handoff_bytes)
+    lines = [
+        "Fleet data plane — wire frames vs per-stanza pickle "
+        "(60 devices x 4 shards, 0.35 h, seed 9)",
+        "",
+        f"  handoffs exchanged        {result.handoffs:>12,}",
+        f"  barriers                  {result.barriers:>12,}",
+        f"  pickle bytes (pre-PR)     {pickled:>12,}",
+        f"  wire bytes on the pipes   {result.handoff_bytes:>12,}",
+        f"  reduction                 {ratio_measured:>11.1f}x",
+        f"  one-frame whole-run batch {wire:>12,} B",
+        f"  coordinator overhead      {result.wall_s - result.critical_path_s:>12.2f} s"
+        f"  (wall {result.wall_s:.2f} - critical path "
+        f"{result.critical_path_s:.2f})",
+    ]
+    report("perf_dataplane", "\n".join(lines))
+
+    # The ISSUE's floor: ≥5x fewer bytes on the pipe.  Measured ~20-25x
+    # on CPython 3.11 + stock zlib; 5x leaves room for zlib variants.
+    assert result.handoff_bytes * 5 <= pickled, (
+        f"wire framing saved only {ratio_measured:.1f}x over pickle "
+        f"({result.handoff_bytes} vs {pickled} bytes)"
+    )

@@ -91,6 +91,7 @@ def run_fleet(
     walls: List[float] = []
     crits: List[float] = []
     events: Optional[int] = None
+    fleet_stats: Optional[Dict[str, Any]] = None
     sim_ms = hours * 3_600_000.0
     for _ in range(max(1, repeats)):
         if shards > 1:
@@ -104,6 +105,23 @@ def run_fleet(
             walls.append(time.perf_counter() - t0)
             crits.append(result.critical_path_s)
             executed = result.events
+            # Barrier and handoff counts are structural (same on every
+            # machine, gated like event counts); wire bytes depend on
+            # the zlib build and stay timing-plane.
+            stats = {
+                "barriers": result.barriers,
+                "handoffs": result.handoffs,
+                "handoff_bytes": result.handoff_bytes,
+            }
+            if fleet_stats is None:
+                fleet_stats = stats
+            elif (fleet_stats["barriers"], fleet_stats["handoffs"]) != (
+                stats["barriers"], stats["handoffs"]
+            ):
+                raise AssertionError(
+                    f"non-deterministic benchmark: barrier/handoff counts "
+                    f"drifted across repeats ({fleet_stats} vs {stats})"
+                )
         else:
             t0 = time.perf_counter()
             sim = _build_fleet(seed, devices, spans, metrics)
@@ -134,6 +152,11 @@ def run_fleet(
         crit = min(crits)
         row["critical_path_s"] = round(crit, 6)
         row["events_per_s_parallel"] = parallel_rate(executed, crit)
+        # Coordinator cost: everything that is not shard work — spawn,
+        # barrier round-trips, codec, merge.  Timing-plane only.
+        row["barrier_overhead_s"] = round(max(0.0, best - crit), 6)
+    if fleet_stats is not None:
+        row.update(fleet_stats)
     return row
 
 
@@ -342,11 +365,19 @@ def canonical_dumps(report: Dict[str, Any]) -> str:
 def structural_view(report: Dict[str, Any]) -> Dict[str, Any]:
     """The machine-independent subset CI diffs against the committed copy."""
     view = {key: report[key] for key in STRUCTURAL_FIELDS if key in report}
+    # ``handoff_bytes`` stays out of the structural view on purpose: the
+    # frame bytes depend on the zlib build (e.g. zlib-ng compresses
+    # differently), so only the counts are machine-independent.
     view["fleets"] = [
         {
             "devices": row["devices"],
             "shards": row.get("shards", 1),
             "events": row["events"],
+            **{
+                key: row[key]
+                for key in ("barriers", "handoffs")
+                if key in row
+            },
         }
         for row in report.get("fleets", ())
         if not row.get("gated")
@@ -374,6 +405,14 @@ def render_report(report: Dict[str, Any]) -> str:
                 f"parallel {rate:,.0f} ev/s" if rate is not None
                 else "parallel rate n/a (critical path ~0)"
             )
+        if "barriers" in row:
+            notes.append(
+                f"{row['barriers']:,} barriers / {row['handoffs']:,} handoffs"
+            )
+        if "handoff_bytes" in row:
+            notes.append(f"{row['handoff_bytes']:,} B wire")
+        if "barrier_overhead_s" in row:
+            notes.append(f"overhead {row['barrier_overhead_s']:.2f} s")
         if row.get("gated"):
             notes.append("wall-clock gated")
         lines.append(

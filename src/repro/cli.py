@@ -183,6 +183,11 @@ def _build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--epoch-ms", type=float, default=None,
                        help="barrier window length; must not exceed the "
                             "minimum cross-shard latency (the default)")
+    fleet.add_argument("--latency-ms", type=float, default=None,
+                       help="switchboard base stanza latency (default 80; "
+                            "simulated physics — changing it changes the "
+                            "schedule itself, identically for solo and "
+                            "sharded runs; must be > 0)")
     fleet.add_argument("--in-process", action="store_true",
                        help="drive the shards in this process behind the "
                             "same barrier protocol (no spawn cost; "
@@ -216,6 +221,9 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="simulated hours (default 1.0)")
     top.add_argument("--epoch-ms", type=float, default=None,
                      help="barrier window length (default: max safe)")
+    top.add_argument("--latency-ms", type=float, default=None,
+                     help="switchboard base stanza latency (default 80; "
+                          "simulated physics, not a tuning knob)")
     top.add_argument("--in-process", action="store_true",
                      help="drive the shards in this process (no spawn cost)")
     top.add_argument("--seed", type=int, default=argparse.SUPPRESS,
@@ -701,6 +709,7 @@ def cmd_fleet(args) -> int:
             seed=args.seed,
             hours=args.hours,
             epoch_ms=args.epoch_ms,
+            latency_ms=args.latency_ms,
             processes=not args.in_process,
             telemetry=telemetry,
             observer=observer,
@@ -742,6 +751,12 @@ def cmd_fleet(args) -> int:
         f"  {result.barriers:,} barriers at epoch {result.epoch_ms:.0f} ms, "
         f"{result.handoffs:,} cross-shard handoffs"
     )
+    if result.handoff_bytes:
+        print(
+            f"  {result.handoff_bytes:,} handoff wire bytes on the worker "
+            f"pipes ({result.handoff_bytes / max(1, result.handoffs):,.0f} "
+            f"B/handoff framed+compressed)"
+        )
     server = result.report["server"]
     print(
         f"  {server['stanzas_routed']:,} stanzas routed, "
@@ -776,6 +791,7 @@ def cmd_top(args) -> int:
             seed=args.seed,
             hours=args.hours,
             epoch_ms=args.epoch_ms,
+            latency_ms=args.latency_ms,
             processes=not args.in_process,
             observer=live,
         )

@@ -150,8 +150,25 @@ class ShardSpec:
     #: at every epoch barrier).  Never perturbs the simulation: sampling
     #: is pull-only, so this flag cannot change a single event.
     telemetry: bool = False
+    #: Base switchboard latency in milliseconds — every stanza (local or
+    #: cross-shard) spends at least this long in flight.  It is also the
+    #: fleet's determinism contract: the epoch-barrier window must not
+    #: exceed the *minimum* latency across shards, so a partitioned run
+    #: is byte-identical to the solo run **at the same latency**.
+    #: Changing it changes the simulated schedule itself (it is physics,
+    #: not tuning), so solo and sharded runs only compare at equal
+    #: values.  Must be positive.
+    latency_ms: float = 80.0
     collectors: Tuple[str, ...] = ()
     devices: Tuple[DeviceSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not (isinstance(self.latency_ms, (int, float))
+                and self.latency_ms > 0):
+            raise ValueError(
+                f"latency_ms must be a positive number of milliseconds, "
+                f"got {self.latency_ms!r}"
+            )
 
 
 @dataclass
@@ -253,6 +270,7 @@ class Shard:
         metrics: bool = True,
         telemetry: bool = False,
         shard_id: str = "shard-0",
+        latency_ms: float = 80.0,
     ) -> None:
         if spec is not None:
             seed = spec.seed
@@ -262,6 +280,11 @@ class Shard:
             metrics = spec.metrics
             telemetry = spec.telemetry
             shard_id = spec.shard_id
+            latency_ms = spec.latency_ms
+        if not latency_ms > 0:
+            raise ValueError(
+                f"latency_ms must be positive, got {latency_ms!r}"
+            )
         self.spec = spec
         self.shard_id = shard_id
         self.seed = seed
@@ -285,7 +308,7 @@ class Shard:
         # read it; nothing in the shard ever calls it).  Disabled it is a
         # __class__-swapped null lane, same idiom as spans and metrics.
         self.telemetry = ShardTelemetry(self, enabled=telemetry)
-        self.server = XmppServer(self.kernel, trace=self.trace)
+        self.server = XmppServer(self.kernel, latency_ms=latency_ms, trace=self.trace)
         self.admin = TestbedAdmin(self.server)
         self.default_carrier = carrier
         self.devices: Dict[str, SimulatedDevice] = {}
@@ -495,6 +518,23 @@ class Shard:
         """Drain and return the stanzas queued for other shards."""
         pending, self._egress = self._egress, []
         return pending
+
+    @property
+    def egress_capable(self) -> bool:
+        """Whether this shard's topology can still emit cross-shard traffic.
+
+        True while the switchboard holds at least one remote roster edge
+        (:meth:`~repro.net.xmpp.XmppServer.add_remote_roster`).  The
+        fleet coordinator's adaptive barrier uses this as topology
+        lookahead: a shard with no remote edges cannot originate
+        handoffs, so its local events never bound the barrier window.
+        The contract is that cross-shard traffic only flows along
+        remote-roster edges created *before* the window that uses them —
+        all built-in workloads wire their edges at setup — and the
+        coordinator fails loudly (never silently mis-times a delivery)
+        if a shard that reported incapable egresses anyway.
+        """
+        return self.server.remote_edges > 0
 
     def ingress(self, handoffs) -> int:
         """Replay cross-shard handoffs into this shard's switchboard.

@@ -16,19 +16,29 @@ merged result byte-identical to the single-shard run for the same seed:
   synchronization: epoch length bounded by the minimum cross-shard
   stanza latency, deterministic sorted handoff exchange at each barrier,
   quiescence detection, clean errors on worker crashes.
+* :mod:`repro.fleet.wire` — the batched binary handoff codec: one
+  struct-packed, zlib-compressed frame per barrier instead of one
+  pickle per stanza; decode reconstructs identical ``Handoff`` objects.
 * :mod:`repro.fleet.merge` — combine per-shard fleet reports, metrics
   planes and span traces into one canonical report.
+
+Telemetry samples and final artifacts ride a per-shard shared-memory
+ring (:mod:`repro.obs.shm`) rather than the control pipe.
 """
 
 from .coordinator import FleetError, FleetResult, WorkerCrashed, run_fleet
 from .merge import merge_fleet_reports, merge_metrics, merge_trace_jsonl
 from .partition import FleetPlan, fleet_spec, plan_fleet
+from .wire import WireError, decode_batch, encode_batch
 
 __all__ = [
     "FleetError",
     "FleetPlan",
     "FleetResult",
+    "WireError",
     "WorkerCrashed",
+    "decode_batch",
+    "encode_batch",
     "fleet_spec",
     "merge_fleet_reports",
     "merge_metrics",

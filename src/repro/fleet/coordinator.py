@@ -3,41 +3,65 @@
 One simulation, K shards, each advanced in lockstep windows:
 
 * **Barrier math.**  The epoch length L must satisfy ``0 < L ≤ min
-  cross-shard stanza latency`` (the switchboard's base latency, 80 ms by
-  default — every cross-shard stanza spends at least that long on the
-  wire).  A handoff submitted at time *s* inside the window ``(B−L, B]``
-  is exchanged at barrier *B* and is due at ``s + latency > B`` — always
+  cross-shard stanza latency`` (the switchboard's base latency —
+  :attr:`~repro.core.shard.ShardSpec.latency_ms`, 80 ms by default —
+  every cross-shard stanza spends at least that long on the wire).  A
+  handoff submitted at time *s* inside the window ``(B−L, B]`` is
+  exchanged at barrier *B* and is due at ``s + latency > B`` — always
   strictly in the receiver's future, so delivering it before the next
   window starts reproduces the solo schedule exactly.
-* **Lookahead.**  Workers report their next-event time at every barrier;
-  the next barrier is placed one epoch after the earliest thing that can
-  happen anywhere (first local event or first pending handoff delivery),
-  so idle stretches cost one window, not thousands.  When every shard is
-  idle and no handoffs are in flight the fleet is quiescent and jumps
-  straight to the horizon.
+* **Adaptive lookahead.**  Workers report their next-event time and
+  their egress capability (:attr:`~repro.core.shard.Shard.egress_capable`
+  — whether their topology holds any remote roster edge) at every
+  barrier.  Only things that can *originate* cross-shard traffic bound
+  the window: the next events of egress-capable shards, and the due
+  times of handoffs granted to egress-capable receivers (a delivery can
+  make a capable receiver egress in reaction).  The barrier lands one
+  epoch past the earliest such wakeup; shards that cannot egress run
+  arbitrarily wide windows, and when nothing anywhere can originate
+  traffic the fleet jumps straight to the horizon.  Soundness rests on
+  the capability contract (edges are wired before the window that uses
+  them); the switchboard's late-due check and the coordinator's
+  incapable-egress check turn any violation into a loud failure rather
+  than a silently distorted schedule.
 * **Determinism.**  Handoffs collected at a barrier are delivered in
   sorted ``(submit_ms, from_jid, seq)`` order — a total order (a JID
   lives on exactly one shard; ``seq`` is that shard's egress counter) —
   so the receiver schedules them identically no matter which worker
   answered first.
+* **Data plane.**  Spawned workers exchange handoff batches as
+  :mod:`repro.fleet.wire` frames — one struct-packed, zlib-compressed
+  buffer per barrier instead of one pickle per stanza — and ship
+  telemetry samples plus their final artifact blob through a per-shard
+  :class:`~repro.obs.shm.ShmRing`, keeping the pipe a control channel.
+  Both lanes degrade gracefully (inline pickles, chunkless results)
+  with byte-identical outcomes.
 * **Failures.**  A worker that dies, raises, or stops responding turns
   into :class:`WorkerCrashed`/:class:`FleetError` with the worker's
-  traceback or exit code; every other worker is torn down. No hangs.
+  traceback or exit code; every other worker is torn down and every
+  shared-memory ring unlinked. No hangs, no ``/dev/shm`` leaks.
 """
 
 from __future__ import annotations
 
+import json
 import multiprocessing
+import pickle
+import zlib
 from dataclasses import dataclass, replace
 from time import perf_counter, process_time
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..core.shard import Handoff, Shard, ShardSpec
+from ..obs.shm import DEFAULT_RING_BYTES, ShmError, ShmRing
 from ..obs.timeline import FleetTimeline, fleet_health
 from ..sim.kernel import HOUR
 from .merge import merge_fleet_reports, merge_metrics, merge_trace_jsonl, report_to_json
 from .partition import FleetPlan, fleet_spec, plan_fleet
+from .wire import decode_batch, encode_batch
 from .worker import (
+    CHUNK_TAG,
+    TELEMETRY_TAG,
     WORKLOADS,
     WorkerCrashed,
     _rss_kb,
@@ -70,6 +94,10 @@ class FleetResult:
     #: own core.  On a single-core host ``wall_s`` serializes the
     #: workers; this is the parallel capacity the layout actually has.
     critical_path_s: float = 0.0
+    #: Total wire-frame bytes that crossed the worker pipes (handoff
+    #: batches in both directions, compressed).  Zero for in-process
+    #: fleets — nothing crosses a pipe there.
+    handoff_bytes: int = 0
     #: Per-barrier telemetry time-series (``None`` unless the run was
     #: started with ``telemetry=True`` or an observer).
     timeline: Optional[FleetTimeline] = None
@@ -100,6 +128,7 @@ class _LocalWorker:
 
     def __init__(self, spec: ShardSpec, workload: str, fleet_ctx) -> None:
         self.shard_id = spec.shard_id
+        self.wire_bytes = 0  # nothing crosses a pipe in-process
         try:
             self.shard = Shard(spec)
             self.shard.open_boundary()
@@ -114,15 +143,18 @@ class _LocalWorker:
                 shard_id=self.shard_id,
                 cause=f"{type(exc).__name__}: {exc}",
             ) from exc
-        self._pending: Optional[Tuple[List[Handoff], Optional[float], Any]] = None
+        self._pending: Optional[
+            Tuple[List[Handoff], Optional[float], bool, Any]
+        ] = None
         self._busy_s = 0.0
         self._epoch = 0
 
-    def ready(self) -> Tuple[float, Optional[float], List[Handoff]]:
+    def ready(self) -> Tuple[float, Optional[float], List[Handoff], bool]:
         return (
             self.shard.server.latency_ms,
             self.shard.kernel.next_event_time(),
             self.shard.pending_cross_shard(),
+            self.shard.egress_capable,
         )
 
     def post_advance(self, barrier_ms: float, handoffs: List[Handoff]) -> None:
@@ -156,9 +188,12 @@ class _LocalWorker:
                 "rss_kb": _rss_kb(),
             },
         )
-        self._pending = (out, self.shard.kernel.next_event_time(), sample)
+        self._pending = (
+            out, self.shard.kernel.next_event_time(),
+            self.shard.egress_capable, sample,
+        )
 
-    def wait_barrier(self) -> Tuple[List[Handoff], Optional[float], Any]:
+    def wait_barrier(self) -> Tuple[List[Handoff], Optional[float], bool, Any]:
         pending, self._pending = self._pending, None
         return pending
 
@@ -173,21 +208,43 @@ class _LocalWorker:
 
 
 class _ProcessWorker:
-    """One spawned worker process behind a duplex pipe."""
+    """One spawned worker process behind a duplex pipe.
+
+    The pipe carries control messages and wire frames; a per-shard
+    shared-memory ring (created here, unlinked in :meth:`close` on
+    *every* exit path, crashes included) carries telemetry samples and
+    the chunked final artifact blob.  ``ring_bytes=0`` — or a platform
+    without POSIX shared memory — disables the ring and everything
+    falls back inline on the pipe, byte-identically.
+    """
 
     def __init__(
-        self, spec: ShardSpec, workload: str, fleet_ctx, context, timeout_s: float
+        self, spec: ShardSpec, workload: str, fleet_ctx, context,
+        timeout_s: float, ring_bytes: int = DEFAULT_RING_BYTES,
     ) -> None:
         self.shard_id = spec.shard_id
         self.timeout_s = timeout_s
-        self.conn, child = context.Pipe()
-        self.process = context.Process(
-            target=fleet_worker_main,
-            args=(child, spec, workload, fleet_ctx),
-            name=f"fleet-{spec.shard_id}",
-            daemon=True,
-        )
-        self.process.start()
+        self.wire_bytes = 0
+        self.ring: Optional[ShmRing] = None
+        if ring_bytes:
+            try:
+                self.ring = ShmRing.create(ring_bytes)
+            except ShmError:
+                self.ring = None  # no shm here: inline fallback
+        try:
+            self.conn, child = context.Pipe()
+            self.process = context.Process(
+                target=fleet_worker_main,
+                args=(child, spec, workload, fleet_ctx,
+                      self.ring.name if self.ring is not None else None),
+                name=f"fleet-{spec.shard_id}",
+                daemon=True,
+            )
+            self.process.start()
+        except BaseException:
+            if self.ring is not None:
+                self.ring.unlink()
+            raise
         child.close()
 
     def _recv(self):
@@ -220,23 +277,94 @@ class _ProcessWorker:
             )
         return message
 
-    def ready(self) -> Tuple[float, Optional[float], List[Handoff]]:
-        # ("ready", shard_id, latency_ms, next_event, handoffs)
+    def ready(self) -> Tuple[float, Optional[float], List[Handoff], bool]:
+        # ("ready", shard_id, latency_ms, next_event, frame, egress_capable)
         message = self._recv()
-        return message[2], message[3], message[4]
+        frame = message[4]
+        self.wire_bytes += len(frame)
+        return message[2], message[3], decode_batch(frame), message[5]
 
     def post_advance(self, barrier_ms: float, handoffs: List[Handoff]) -> None:
-        self.conn.send(("advance", barrier_ms, handoffs))
+        frame = encode_batch(handoffs)
+        self.wire_bytes += len(frame)
+        self.conn.send(("advance", barrier_ms, frame))
 
-    def wait_barrier(self) -> Tuple[List[Handoff], Optional[float], Any]:
-        message = self._recv()  # ("barrier", handoffs, next_event, sample)
-        return message[1], message[2], message[3]
+    def wait_barrier(self) -> Tuple[List[Handoff], Optional[float], bool, Any]:
+        # ("barrier", frame, next_event, egress_capable, sample, in_ring)
+        message = self._recv()
+        frame, next_event, capable, sample, in_ring = message[1:6]
+        self.wire_bytes += len(frame)
+        if in_ring:
+            sample = self._drain_sample()
+        return decode_batch(frame), next_event, capable, sample
+
+    def _drain_sample(self) -> Dict[str, Any]:
+        """Pull the barrier's telemetry sample out of the ring."""
+        if self.ring is None:
+            raise FleetError(
+                f"worker {self.shard_id} reported a ring sample but no "
+                f"ring exists"
+            )
+        sample = None
+        for record in self.ring.drain():
+            if record[:1] == bytes((TELEMETRY_TAG,)) and sample is None:
+                sample = json.loads(record[1:].decode("utf-8"))
+            else:
+                raise FleetError(
+                    f"unexpected ring record from worker {self.shard_id} "
+                    f"at a barrier (tag {record[:1]!r})"
+                )
+        if sample is None:
+            raise FleetError(
+                f"worker {self.shard_id} reported a ring sample but the "
+                f"ring was empty"
+            )
+        return sample
 
     def post_finish(self) -> None:
         self.conn.send(("finish",))
 
     def wait_result(self) -> Dict[str, Any]:
-        return self._recv()[1]  # ("result", artifacts)
+        message = self._recv()
+        if message[0] == "result":  # no ring: plain inline artifacts
+            return message[1]
+        if message[0] != "stream":
+            raise FleetError(
+                f"worker {self.shard_id} sent {message[0]!r} where a "
+                f"result was expected"
+            )
+        # ("stream", blob_len, n_chunks) then per chunk: push → ("chunk",)
+        # → drain → ("ok",).  The ring is empty again before every push,
+        # so a chunk can never fail to fit.
+        blob_len, n_chunks = message[1], message[2]
+        pieces: List[bytes] = []
+        for _ in range(n_chunks):
+            note = self._recv()
+            if note[0] != "chunk":
+                raise FleetError(
+                    f"worker {self.shard_id} sent {note[0]!r} mid-stream"
+                )
+            for record in self.ring.drain():
+                if record[:1] != bytes((CHUNK_TAG,)):
+                    raise FleetError(
+                        f"unexpected ring record tag {record[:1]!r} in "
+                        f"worker {self.shard_id}'s artifact stream"
+                    )
+                pieces.append(record[1:])
+            self.conn.send(("ok",))
+        done = self._recv()
+        if done[0] != "done":
+            raise FleetError(
+                f"worker {self.shard_id} sent {done[0]!r} where the "
+                f"stream end was expected"
+            )
+        blob = b"".join(pieces)
+        if len(blob) != blob_len:
+            raise FleetError(
+                f"worker {self.shard_id}'s artifact stream is truncated: "
+                f"got {len(blob)} of {blob_len} bytes"
+            )
+        return pickle.loads(zlib.decompress(blob))
 
     def close(self) -> None:
         try:
@@ -246,6 +374,10 @@ class _ProcessWorker:
         if self.process.is_alive():
             self.process.terminate()
         self.process.join(timeout=5.0)
+        # Unlink runs on every exit path — normal finish, WorkerCrashed,
+        # coordinator exceptions — so a dead worker never leaks /dev/shm.
+        if self.ring is not None:
+            self.ring.unlink()
 
 
 # ---------------------------------------------------------------------------
@@ -261,6 +393,7 @@ def run_fleet(
     hours: Optional[float] = None,
     duration_ms: Optional[float] = None,
     epoch_ms: Optional[float] = None,
+    latency_ms: Optional[float] = None,
     workload: str = "battery-monitor",
     collector: str = "fleet",
     fleet_id: str = "fleet",
@@ -268,6 +401,7 @@ def run_fleet(
     metrics: bool = True,
     processes: bool = True,
     barrier_timeout_s: float = 600.0,
+    shm_ring_bytes: int = DEFAULT_RING_BYTES,
     telemetry: bool = False,
     observer: Optional[Callable[[Dict[str, Any]], None]] = None,
     workload_ctx: Optional[Dict[str, Any]] = None,
@@ -282,6 +416,18 @@ def run_fleet(
     value (the minimum cross-shard stanza latency reported by the
     workers); anything larger is rejected.
 
+    ``latency_ms`` overrides the switchboard's base stanza latency —
+    simulated physics, not a tuning knob: it changes the schedule
+    itself, and it bounds the barrier window (see
+    :class:`~repro.core.shard.ShardSpec`).  It must be positive and is
+    applied to the root spec before partitioning, so solo and K-shard
+    runs of the same latency always agree byte for byte.
+
+    ``shm_ring_bytes`` sizes the per-shard shared-memory ring spawned
+    workers use for telemetry and artifact streaming; ``0`` disables it
+    (everything rides the pipe inline — same results, used by the
+    fallback tests and on platforms without POSIX shared memory).
+
     ``telemetry=True`` arms the per-shard barrier sampler and attaches
     the collected :class:`~repro.obs.timeline.FleetTimeline` (plus the
     derived health verdict) to the result.  ``observer`` — a callable
@@ -292,13 +438,23 @@ def run_fleet(
     """
     if observer is not None:
         telemetry = True
+    if latency_ms is not None and not (
+        isinstance(latency_ms, (int, float)) and latency_ms > 0
+    ):
+        raise FleetError(
+            f"latency_ms must be a positive number of milliseconds, "
+            f"got {latency_ms!r}"
+        )
     if spec is None:
         if devices is None:
             raise FleetError("pass a device count or a root ShardSpec")
         spec = fleet_spec(
             devices, seed=seed, collector=collector, shard_id=fleet_id,
             spans=spans, metrics=metrics,
+            latency_ms=latency_ms if latency_ms is not None else 80.0,
         )
+    elif latency_ms is not None and spec.latency_ms != latency_ms:
+        spec = replace(spec, latency_ms=latency_ms)
     # A telemetry-armed root spec and the flag are equivalent: either
     # arms every shard's sampler (partitioning copies the field).
     telemetry = telemetry or spec.telemetry
@@ -330,7 +486,8 @@ def run_fleet(
             context = multiprocessing.get_context("spawn")
             workers = [
                 _ProcessWorker(
-                    shard_spec, workload, fleet_ctx, context, barrier_timeout_s
+                    shard_spec, workload, fleet_ctx, context,
+                    barrier_timeout_s, shm_ring_bytes,
                 )
                 for shard_spec in plan.shards
             ]
@@ -340,7 +497,7 @@ def run_fleet(
                 for shard_spec in plan.shards
             ]
         readies = [worker.ready() for worker in workers]
-        min_latency = min(latency for latency, _, _ in readies)
+        min_latency = min(latency for latency, _, _, _ in readies)
         epoch = float(epoch_ms) if epoch_ms is not None else min_latency
         if not 0 < epoch <= min_latency:
             raise FleetError(
@@ -349,12 +506,13 @@ def run_fleet(
                 f"got {epoch} ms"
             )
 
-        next_events = [next_event for _, next_event, _ in readies]
+        next_events = [next_event for _, next_event, _, _ in readies]
+        capable = [flag for _, _, _, flag in readies]
         # Anything egressed during workload setup (time zero) is routed
         # with the first window grant, so receivers schedule it exactly
         # where the solo run would have.
         setup_handoffs: List[Handoff] = []
-        for _, _, initial in readies:
+        for _, _, initial, _ in readies:
             setup_handoffs.extend(initial)
         setup_handoffs.sort(key=_handoff_sort_key)
         outbox: List[List[Handoff]] = [[] for _ in workers]
@@ -376,26 +534,39 @@ def run_fleet(
         def exchange(barrier: float) -> None:
             """Grant the window ending at ``barrier`` to every worker,
             then collect, totally order, and route the handoffs."""
-            nonlocal outbox, next_events, handoffs_total, barriers
+            nonlocal outbox, next_events, capable, handoffs_total, barriers
             window_start = perf_counter()
             for index, worker in enumerate(workers):
                 worker.post_advance(barrier, outbox[index])
             results = [worker.wait_barrier() for worker in workers]
             collected: List[Handoff] = []
-            for out, _, _ in results:
+            for index, (out, _, _, _) in enumerate(results):
+                if out and not capable[index]:
+                    # The window was placed assuming this shard could
+                    # not originate traffic; silently accepting the
+                    # handoffs could mis-time their delivery.
+                    raise FleetError(
+                        f"shard {workers[index].shard_id} egressed "
+                        f"{len(out)} handoffs in a window placed on the "
+                        f"assumption it could not (no remote roster "
+                        f"edges at placement time) — the egress-"
+                        f"capability contract requires edges to be "
+                        f"wired before the window that uses them"
+                    )
                 collected.extend(out)
             collected.sort(key=_handoff_sort_key)
             outbox = [[] for _ in workers]
             for handoff in collected:
                 outbox[plan.owner_of(handoff.to_jid)].append(handoff)
             handoffs_total += len(collected)
-            next_events = [next_event for _, next_event, _ in results]
+            next_events = [next_event for _, next_event, _, _ in results]
+            capable = [flag for _, _, flag, _ in results]
             barriers += 1
             if timeline is not None:
                 frame = timeline.append(
                     epoch=barriers,
                     barrier_ms=barrier,
-                    samples=[sample for _, _, sample in results],
+                    samples=[sample for _, _, _, sample in results],
                     handoffs=len(collected),
                     backlog=sum(len(granted) for granted in outbox),
                     window_wall_s=perf_counter() - window_start,
@@ -405,14 +576,25 @@ def run_fleet(
 
         try:
             while now < total_ms:
-                wakeups = [t for t in next_events if t is not None]
-                wakeups.extend(
-                    handoff.submit_ms + min_latency
-                    for granted in outbox
-                    for handoff in granted
-                )
+                # Adaptive horizon: only egress-capable shards can bound
+                # the window.  Their next local event may egress, and a
+                # handoff granted to a capable receiver may trigger an
+                # egress at its due time; everything else — including
+                # every event on incapable shards — runs free inside an
+                # arbitrarily wide window.
+                wakeups = [
+                    next_event
+                    for next_event, flag in zip(next_events, capable)
+                    if flag and next_event is not None
+                ]
+                for index, granted in enumerate(outbox):
+                    if capable[index]:
+                        wakeups.extend(
+                            handoff.submit_ms + min_latency
+                            for handoff in granted
+                        )
                 if not wakeups:
-                    barrier = total_ms  # quiescent: nothing can happen again
+                    barrier = total_ms  # nothing can cross again: jump
                 else:
                     barrier = min(total_ms, max(now, min(wakeups)) + epoch)
                 exchange(barrier)
@@ -461,6 +643,7 @@ def run_fleet(
         critical_path_s=max(
             artifact.get("busy_s", 0.0) for artifact in artifacts
         ),
+        handoff_bytes=sum(worker.wire_bytes for worker in workers),
         timeline=timeline,
         health=fleet_health(timeline) if timeline is not None else None,
         shard_extras=tuple(artifact.get("extra") for artifact in artifacts),

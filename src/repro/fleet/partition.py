@@ -51,12 +51,19 @@ def fleet_spec(
     record_trace: bool = False,
     spans: bool = True,
     metrics: bool = True,
+    latency_ms: float = 80.0,
     device: Optional[DeviceSpec] = None,
 ) -> ShardSpec:
     """Build the root spec for a homogeneous N-device fleet.
 
     The default device shape matches the bench workload: sensors plus
     the e-mail app whose radio activity batches piggyback on (Table 3).
+
+    ``latency_ms`` is the switchboard's base stanza latency — simulated
+    physics, not a tuning knob: it changes the schedule itself, and it
+    bounds the fleet's epoch-barrier window (see
+    :class:`~repro.core.shard.ShardSpec`).  Partitioning copies it to
+    every shard, so solo and K-shard runs of one spec always agree.
     """
     if devices < 0:
         raise PartitionError(f"device count must be >= 0, got {devices}")
@@ -68,6 +75,7 @@ def fleet_spec(
         record_trace=record_trace,
         spans=spans,
         metrics=metrics,
+        latency_ms=latency_ms,
         collectors=(collector,),
         devices=tuple(template for _ in range(devices)),
     )

@@ -21,10 +21,22 @@ this module).  Two entry points share the plumbing:
 from __future__ import annotations
 
 import multiprocessing
+import pickle
 import traceback
+import zlib
 from typing import Any, Dict, Iterable, Optional, Sequence
 
 from ..core.shard import Shard, ShardSpec
+
+#: Ring record tags: first byte of every record in the shared-memory
+#: ring says what the rest is.  Samples are canonical JSON, artifact
+#: chunks raw slices of the compressed pickle blob.
+TELEMETRY_TAG = 1
+CHUNK_TAG = 2
+
+#: Headroom left when sizing artifact chunks: record framing (4-byte
+#: length prefix + tag) plus slack so a chunk always fits a drained ring.
+_CHUNK_SLACK = 16
 
 
 class WorkerCrashed(RuntimeError):
@@ -175,40 +187,92 @@ def collect_artifacts(shard: Shard, busy_s: float = 0.0) -> Dict[str, Any]:
 # The coordinator's worker loop
 # ---------------------------------------------------------------------------
 
+def _stream_artifacts(conn, ring, artifacts: Dict[str, Any]) -> None:
+    """Chunk the artifact blob through the shared-memory ring.
+
+    The blob (zlib-compressed pickle) is cut into ring-sized chunks;
+    each chunk is pushed, announced with a ``("chunk",)`` pipe message,
+    and acknowledged by the coordinator after it drains the ring — so
+    the ring is empty again before the next push and a chunk can never
+    fail to fit.  Replaces the old one-giant-pickle ``("result", ...)``
+    send, whose peak memory and pipe occupancy scaled with fleet size.
+    """
+    blob = zlib.compress(
+        pickle.dumps(artifacts, protocol=pickle.HIGHEST_PROTOCOL), 1
+    )
+    chunk_size = ring.capacity - _CHUNK_SLACK
+    chunks = range(0, max(1, len(blob)), chunk_size)
+    conn.send(("stream", len(blob), len(chunks)))
+    for start in chunks:
+        piece = bytes((CHUNK_TAG,)) + blob[start:start + chunk_size]
+        if not ring.try_push(piece):
+            raise RuntimeError(
+                f"artifact chunk of {len(piece)} bytes did not fit the "
+                f"drained {ring.capacity}-byte ring"
+            )
+        conn.send(("chunk",))
+        ack = conn.recv()
+        if ack != ("ok",):
+            raise ValueError(f"unexpected chunk acknowledgement: {ack!r}")
+    conn.send(("done",))
+
+
 def fleet_worker_main(
     conn,
     spec: ShardSpec,
     workload: str,
     fleet_ctx: Optional[Dict[str, Any]],
+    shm_name: Optional[str] = None,
 ) -> None:
     """Serve one shard over ``conn`` until the coordinator says finish.
 
-    Protocol (coordinator → worker / worker → coordinator):
+    Protocol (coordinator → worker / worker → coordinator).  Handoff
+    batches cross the pipe as :mod:`repro.fleet.wire` frames — one
+    struct-packed, zlib-compressed buffer per barrier instead of one
+    pickle per stanza; telemetry samples and the final artifacts ride
+    the shared-memory ring named by ``shm_name`` (``None``: everything
+    falls back inline on the pipe, byte-identical results):
 
-    * ← ``("ready", shard_id, latency_ms, next_event_time, handoffs)``
-      once the shard is built; ``handoffs`` is anything the workload
-      setup egressed at time zero (e.g. the deploy fan-out), so the
-      coordinator can deliver it with the *first* window grant and
-      receivers schedule it exactly where the solo run would.
-    * → ``("advance", barrier_ms, handoffs)``: ingress the granted
+    * ← ``("ready", shard_id, latency_ms, next_event_time, frame,
+      egress_capable)`` once the shard is built; ``frame`` encodes
+      anything the workload setup egressed at time zero (e.g. the
+      deploy fan-out), so the coordinator can deliver it with the
+      *first* window grant and receivers schedule it exactly where the
+      solo run would.  ``egress_capable`` is the topology-lookahead bit
+      (:attr:`~repro.core.shard.Shard.egress_capable`): the adaptive
+      barrier only lets capable shards' next events bound the window.
+    * → ``("advance", barrier_ms, frame)``: ingress the granted
       handoffs, run to the barrier.
-      ← ``("barrier", out_handoffs, next_event_time, sample)`` where
-      ``sample`` is the shard's telemetry snapshot for the window just
-      finished (``None`` when telemetry is disabled).
-    * → ``("finish",)``  ← ``("result", artifacts)``
+      ← ``("barrier", frame, next_event_time, egress_capable, sample,
+      sample_in_ring)`` — ``sample`` is the shard's telemetry snapshot
+      for the window just finished, ``None`` when telemetry is disabled
+      *or* when it was appended to the ring instead
+      (``sample_in_ring=True``; inline is the spill path for a full or
+      absent ring).
+    * → ``("finish",)``  ← ``("result", artifacts)`` without a ring, or
+      the chunk stream of :func:`_stream_artifacts` with one.
     * Any exception ← ``("error", traceback_text)`` and the loop exits.
 
     Telemetry wall fields: ``cpu_s`` is cumulative CPU spent advancing
-    the shard, ``stall_s`` is cumulative wall time spent blocked in
-    ``conn.recv`` waiting for the next barrier grant (the worker's view
-    of barrier imbalance), ``rss_kb`` the process peak RSS.
+    the shard (ingress, run, and wire codec work), ``stall_s`` is
+    cumulative wall time spent blocked in ``conn.recv`` waiting for the
+    next barrier grant (the worker's view of barrier imbalance),
+    ``rss_kb`` the process peak RSS.
     """
     # CPU time, not wall: on an oversubscribed host a worker's window
     # wall time includes the other workers' time slices, which would
     # inflate the critical path it reports.
     from time import perf_counter, process_time
 
+    from ..core.envelope import canonical_json
+    from .wire import decode_batch, encode_batch
+
+    ring = None
     try:
+        if shm_name is not None:
+            from ..obs.shm import ShmRing
+
+            ring = ShmRing.attach(shm_name)
         setup = WORKLOADS[workload]
         shard = Shard(spec)
         shard.open_boundary()
@@ -218,7 +282,9 @@ def fleet_worker_main(
         epoch = 0
         conn.send(
             ("ready", shard.shard_id, shard.server.latency_ms,
-             shard.kernel.next_event_time(), shard.pending_cross_shard())
+             shard.kernel.next_event_time(),
+             encode_batch(shard.pending_cross_shard()),
+             shard.egress_capable)
         )
         while True:
             w0 = perf_counter()
@@ -226,11 +292,13 @@ def fleet_worker_main(
             stall_s += perf_counter() - w0
             op = message[0]
             if op == "advance":
-                barrier_ms, handoffs = message[1], message[2]
+                barrier_ms, frame = message[1], message[2]
                 t0 = process_time()
+                handoffs = decode_batch(frame)
                 if handoffs:
                     shard.ingress(handoffs)
                 out = shard.run_until_epoch(barrier_ms)
+                out_frame = encode_batch(out)
                 busy_s += process_time() - t0
                 epoch += 1
                 sample = shard.telemetry.sample(
@@ -244,9 +312,24 @@ def fleet_worker_main(
                         "rss_kb": _rss_kb(),
                     },
                 )
-                conn.send(("barrier", out, shard.kernel.next_event_time(), sample))
+                in_ring = False
+                if sample is not None and ring is not None:
+                    record = (
+                        bytes((TELEMETRY_TAG,))
+                        + canonical_json(sample).encode("utf-8")
+                    )
+                    in_ring = ring.try_push(record)
+                conn.send((
+                    "barrier", out_frame, shard.kernel.next_event_time(),
+                    shard.egress_capable,
+                    None if in_ring else sample, in_ring,
+                ))
             elif op == "finish":
-                conn.send(("result", collect_artifacts(shard, busy_s)))
+                artifacts = collect_artifacts(shard, busy_s)
+                if ring is None:
+                    conn.send(("result", artifacts))
+                else:
+                    _stream_artifacts(conn, ring, artifacts)
                 return
             else:
                 raise ValueError(f"unknown coordinator op: {op!r}")
@@ -256,6 +339,8 @@ def fleet_worker_main(
         except (OSError, ValueError):
             pass  # coordinator already gone; exit code tells the story
     finally:
+        if ring is not None:
+            ring.close()
         conn.close()
 
 

@@ -147,6 +147,14 @@ class XmppServer:
         #: behaviour (unknown JIDs are an error).
         self.egress: Optional[Callable[[str, str, dict], None]] = None
         self._session_ids = itertools.count(1)
+        #: Count of roster edges pointing at JIDs this server does not
+        #: host (:meth:`add_remote_roster`).  The fleet coordinator reads
+        #: it (via ``Shard.egress_capable``) as topology lookahead: zero
+        #: remote edges means this shard cannot originate cross-shard
+        #: traffic, so its local events never bound the barrier window.
+        #: Conservatively monotone: registering a formerly-remote JID
+        #: locally leaves stale (harmless) capability, never the reverse.
+        self.remote_edges = 0
         self.stanzas_routed = 0
         self.stanzas_egressed = 0
         self.stanzas_lost = 0
@@ -191,11 +199,17 @@ class XmppServer:
             raise RoutingError(
                 f"{remote_jid} is hosted on this server; use add_roster_pair"
             )
-        self._rosters[local_jid].add(remote_jid)
+        if remote_jid not in self._rosters[local_jid]:
+            self._rosters[local_jid].add(remote_jid)
+            self.remote_edges += 1
 
     def remove_roster_pair(self, a: str, b: str) -> None:
-        self._rosters.get(a, set()).discard(b)
-        self._rosters.get(b, set()).discard(a)
+        for jid, peer in ((a, b), (b, a)):
+            roster = self._rosters.get(jid)
+            if roster is not None and peer in roster:
+                roster.discard(peer)
+                if peer not in self._accounts:
+                    self.remote_edges -= 1
 
     def roster(self, jid: str) -> Set[str]:
         return set(self._rosters.get(jid, set()))

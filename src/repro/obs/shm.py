@@ -1,0 +1,211 @@
+"""Shared-memory SPSC byte ring: the fleet's out-of-pipe data sink.
+
+The worker pipe is the fleet's synchronization channel; it should carry
+barrier control traffic, not bulk data.  This module provides the bulk
+lane: a single-producer/single-consumer ring of length-prefixed records
+in one ``multiprocessing.shared_memory`` segment per shard.  Workers
+append telemetry samples during a window and stream their final
+artifact blob through it in chunks; the coordinator drains at barriers.
+
+Synchronization comes from the fleet protocol, not from locks: the
+producer only writes between receiving a window grant and sending its
+barrier reply, and the consumer only drains after receiving that reply.
+The pipe message orders the two sides (its ``recv`` happens-after the
+``send`` that followed the ring writes), so head and tail are plain
+monotonically increasing ``u64`` cursors — consumer-owned and
+producer-owned respectively — with no atomics needed.
+
+Layout::
+
+    [u64 head][u64 tail][capacity bytes of record data]
+
+    record := u32 length + payload          (wraps byte-wise)
+
+Cleanup is the coordinator's job: it creates the segment before
+spawning the worker and unlinks it in a ``finally`` — including on the
+:class:`~repro.fleet.worker.WorkerCrashed` path, so a dead worker never
+leaks ``/dev/shm`` entries.  Workers attach read-write; their
+``resource_tracker`` registration dedupes against the coordinator's in
+the shared spawn tracker (see :meth:`ShmRing.attach`), which doubles as
+a last-resort reaper should the coordinator itself die uncleanly.
+
+``shm_available()`` probes the platform once; callers fall back to
+shipping data inline over the pipe when it is false, so the fleet runs
+unchanged on platforms without POSIX shared memory.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from typing import List, Optional
+
+_HEADER = 16
+_pack_u64_into = struct.Struct("<Q").pack_into
+_unpack_u64 = struct.Struct("<Q").unpack_from
+_pack_u32 = struct.Struct("<I").pack
+_unpack_u32 = struct.Struct("<I").unpack_from
+
+#: Default per-shard ring capacity.  Telemetry samples are ~1-4 KiB per
+#: barrier; artifact chunks size themselves to fit whatever this is.
+DEFAULT_RING_BYTES = 4 * 1024 * 1024
+
+
+class ShmError(RuntimeError):
+    """A ring that cannot be created, attached, or safely used."""
+
+
+def shm_available() -> bool:
+    """Whether POSIX shared memory works here (probed with a tiny segment)."""
+    try:
+        from multiprocessing import shared_memory
+
+        probe = shared_memory.SharedMemory(create=True, size=16)
+        try:
+            probe.buf[0] = 1
+        finally:
+            probe.close()
+            probe.unlink()
+        return True
+    except Exception:
+        return False
+
+
+class ShmRing:
+    """One SPSC ring over a shared-memory segment.
+
+    Create with :meth:`create` (owner side — responsible for
+    ``unlink``), attach with :meth:`attach` (worker side).  ``try_push``
+    returns ``False`` instead of blocking when the record does not fit;
+    the caller decides whether to spill to the pipe or drain first.
+    """
+
+    def __init__(self, shm, owner: bool) -> None:
+        self._shm = shm
+        self._owner = owner
+        self._buf = shm.buf
+        self.capacity = len(shm.buf) - _HEADER
+        self.name = shm.name
+
+    # -- lifecycle ----------------------------------------------------
+
+    @classmethod
+    def create(cls, capacity: int = DEFAULT_RING_BYTES,
+               name: Optional[str] = None) -> "ShmRing":
+        from multiprocessing import shared_memory
+
+        if capacity <= 8:
+            raise ShmError(f"ring capacity must exceed 8 bytes, got {capacity}")
+        if name is None:
+            name = f"pogo-{os.getpid()}-{os.urandom(4).hex()}"
+        try:
+            shm = shared_memory.SharedMemory(name=name, create=True,
+                                             size=_HEADER + capacity)
+        except Exception as exc:
+            raise ShmError(f"cannot create shared-memory ring: {exc}") from exc
+        _pack_u64_into(shm.buf, 0, 0)
+        _pack_u64_into(shm.buf, 8, 0)
+        return cls(shm, owner=True)
+
+    @classmethod
+    def attach(cls, name: str) -> "ShmRing":
+        from multiprocessing import shared_memory
+
+        try:
+            shm = shared_memory.SharedMemory(name=name)
+        except Exception as exc:
+            raise ShmError(f"cannot attach shared-memory ring {name!r}: {exc}") from exc
+        # 3.11's SharedMemory registers with the resource tracker on
+        # attach as well as create.  Fleet workers are spawn children of
+        # the creator, so both registrations land in the *same* tracker
+        # daemon and dedupe by name: the coordinator's unlink clears the
+        # single entry, and if the coordinator dies hard the tracker
+        # reaps the segment at shutdown instead of leaking /dev/shm.
+        return cls(shm, owner=False)
+
+    def close(self) -> None:
+        """Release this mapping (both sides; idempotent)."""
+        if self._buf is None:
+            return
+        self._buf = None
+        try:
+            self._shm.close()
+        except Exception:
+            pass
+
+    def unlink(self) -> None:
+        """Destroy the segment (owner side; idempotent)."""
+        self.close()
+        if not self._owner:
+            return
+        self._owner = False
+        try:
+            self._shm.unlink()
+        except Exception:
+            pass
+
+    # -- cursors ------------------------------------------------------
+
+    @property
+    def _head(self) -> int:
+        return _unpack_u64(self._buf, 0)[0]
+
+    @property
+    def _tail(self) -> int:
+        return _unpack_u64(self._buf, 8)[0]
+
+    def __len__(self) -> int:
+        """Unread bytes currently in the ring."""
+        return self._tail - self._head
+
+    # -- producer -----------------------------------------------------
+
+    def try_push(self, payload: bytes) -> bool:
+        """Append one record; ``False`` (and no write) if it won't fit."""
+        if self._buf is None:
+            raise ShmError("ring is closed")
+        head, tail = self._head, self._tail
+        need = 4 + len(payload)
+        if need > self.capacity - (tail - head):
+            return False
+        self._write(tail, _pack_u32(len(payload)))
+        self._write(tail + 4, payload)
+        _pack_u64_into(self._buf, 8, tail + need)
+        return True
+
+    def _write(self, cursor: int, data: bytes) -> None:
+        start = _HEADER + cursor % self.capacity
+        first = min(len(data), _HEADER + self.capacity - start)
+        self._buf[start:start + first] = data[:first]
+        if first < len(data):
+            self._buf[_HEADER:_HEADER + len(data) - first] = data[first:]
+
+    # -- consumer -----------------------------------------------------
+
+    def drain(self) -> List[bytes]:
+        """Read and consume every complete record currently in the ring."""
+        if self._buf is None:
+            raise ShmError("ring is closed")
+        head, tail = self._head, self._tail
+        records: List[bytes] = []
+        while head < tail:
+            if tail - head < 4:
+                raise ShmError("torn ring record (truncated length prefix)")
+            (length,) = _unpack_u32(self._read(head, 4))
+            if tail - head - 4 < length:
+                raise ShmError(
+                    f"torn ring record ({length} byte payload, "
+                    f"{tail - head - 4} available)"
+                )
+            records.append(bytes(self._read(head + 4, length)))
+            head += 4 + length
+        _pack_u64_into(self._buf, 0, head)
+        return records
+
+    def _read(self, cursor: int, length: int) -> bytes:
+        start = _HEADER + cursor % self.capacity
+        first = min(length, _HEADER + self.capacity - start)
+        data = bytes(self._buf[start:start + first])
+        if first < length:
+            data += bytes(self._buf[_HEADER:_HEADER + length - first])
+        return data

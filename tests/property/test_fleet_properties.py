@@ -10,6 +10,7 @@ fork cost), so hypothesis can afford real simulation runs.
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.core.shard import Handoff
 from repro.fleet import run_fleet
 
 # Keep the fleets small and the clock short: each example is a full
@@ -61,3 +62,88 @@ def test_shard_count_never_changes_the_bytes(devices, seed):
         for shards in (1, 2, devices + 1)
     }
     assert len(reports) == 1
+
+
+# ---------------------------------------------------------------------------
+# Wire codec: decode(encode(batch)) == batch for arbitrary batches
+# ---------------------------------------------------------------------------
+
+_jids = st.from_regex(r"[a-z][a-z0-9-]{0,12}@pogo", fullmatch=True)
+
+# JSON-faithful message trees (string keys, scalar leaves) — what
+# freeze_message admits into envelope payloads and what stanza wrappers
+# normally look like.  NaN/inf excluded: NaN compares unequal to itself
+# by design (documented), infinities are rejected by canonical JSON.
+_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**53), max_value=2**53),
+    st.floats(allow_nan=False, allow_infinity=False, width=64),
+    st.text(max_size=20),
+)
+_trees = st.recursive(
+    _scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=10), children, max_size=4),
+    ),
+    max_leaves=12,
+)
+
+
+def _stanzas():
+    from repro.core.envelope import Envelope, Stanza, freeze_message
+
+    def build(tree, envelope_fields):
+        stanza = {"kind": "message", "body": tree}
+        if envelope_fields is not None:
+            trace_id, origin_ms, hop_span = envelope_fields
+            envelope = Envelope(freeze_message({"v": 1}))
+            envelope.trace_id = trace_id
+            envelope.origin_ms = origin_ms
+            envelope.hop_span = hop_span
+            stanza["payload"] = envelope
+        return Stanza(stanza)
+
+    return st.builds(
+        build,
+        _trees,
+        st.one_of(
+            st.none(),
+            st.tuples(
+                st.integers(min_value=0, max_value=2**64 - 1),
+                st.floats(min_value=0, max_value=1e12, allow_nan=False),
+                st.integers(min_value=0, max_value=2**64 - 1),
+            ),
+        ),
+    )
+
+
+_handoffs = st.builds(
+    Handoff,
+    st.one_of(st.none(), st.floats(min_value=0, max_value=1e10, allow_nan=False)),
+    st.integers(min_value=0, max_value=2**32 - 1),
+    _jids,
+    _jids,
+    _stanzas(),
+)
+
+
+@given(st.lists(_handoffs, max_size=12))
+@settings(max_examples=200, deadline=None)
+def test_wire_codec_round_trips_arbitrary_batches(batch):
+    from repro.core.envelope import Envelope, Stanza
+    from repro.fleet.wire import decode_batch, encode_batch
+
+    out = decode_batch(encode_batch(batch))
+    assert out == batch
+    for original, decoded in zip(batch, out):
+        assert isinstance(decoded.stanza, Stanza) == isinstance(
+            original.stanza, Stanza
+        )
+        if "payload" in original.stanza:
+            got, want = decoded.stanza["payload"], original.stanza["payload"]
+            assert isinstance(got, Envelope)
+            assert got.trace_id == want.trace_id
+            assert got.origin_ms == want.origin_ms
+            assert got.hop_span == want.hop_span

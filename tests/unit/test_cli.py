@@ -130,6 +130,23 @@ def test_fleet_telemetry_and_prom_exports(tmp_path, capsys):
         encoding="utf-8")
 
 
+def test_fleet_latency_flag_changes_physics_and_rejects_junk(capsys):
+    assert main(["--seed", "5", "fleet", "--devices", "2", "--shards", "2",
+                 "--hours", "0.1", "--in-process", "--latency-ms", "40",
+                 "--json"]) == 0
+    forty = capsys.readouterr().out
+    assert main(["--seed", "5", "fleet", "--devices", "2", "--shards", "2",
+                 "--hours", "0.1", "--in-process", "--json"]) == 0
+    eighty = capsys.readouterr().out
+    assert forty != eighty  # latency is simulated physics, not a knob
+
+    rc = main(["fleet", "--devices", "2", "--shards", "2", "--hours", "0.1",
+               "--in-process", "--latency-ms", "0"])
+    captured = capsys.readouterr()
+    assert rc == 1
+    assert "latency_ms" in captured.err
+
+
 def test_top_runs_and_prints_health(capsys):
     assert main(["--seed", "5", "top", "--devices", "4", "--shards", "2",
                  "--hours", "0.25", "--in-process"]) == 0

@@ -324,3 +324,151 @@ class TestWorkerCrashDiagnostics:
 
 def _explode():
     raise RuntimeError("boom from the worker")
+
+
+class TestLatencyKnob:
+    def test_spec_rejects_nonpositive_latency(self):
+        with pytest.raises(ValueError, match="latency_ms"):
+            fleet_spec(2, latency_ms=0)
+        with pytest.raises(ValueError, match="latency_ms"):
+            fleet_spec(2, latency_ms=-5.0)
+
+    def test_run_fleet_rejects_nonpositive_latency(self):
+        with pytest.raises(FleetError, match="latency_ms"):
+            run_fleet(2, 2, seed=0, hours=0.01, latency_ms=0, processes=False)
+        with pytest.raises(FleetError, match="latency_ms"):
+            run_fleet(2, 2, seed=0, hours=0.01, latency_ms=-1, processes=False)
+
+    def test_latency_is_copied_to_every_shard(self):
+        plan = plan_fleet(fleet_spec(4, seed=0, latency_ms=120.0), 2)
+        assert all(s.latency_ms == 120.0 for s in plan.shards)
+
+    def test_latency_bounds_the_epoch(self):
+        # The barrier window may not exceed the (now smaller) latency.
+        with pytest.raises(FleetError, match="epoch"):
+            run_fleet(2, 2, seed=0, hours=0.01, latency_ms=40.0,
+                      epoch_ms=41.0, processes=False)
+
+    def test_latency_is_physics_solo_and_sharded_agree(self):
+        # A different latency changes the schedule itself — but changes
+        # it identically for the solo and partitioned runs.
+        solo = run_fleet(4, 1, seed=6, hours=0.25, latency_ms=40.0,
+                         processes=False)
+        sharded = run_fleet(4, 2, seed=6, hours=0.25, latency_ms=40.0,
+                            processes=False)
+        default = run_fleet(4, 1, seed=6, hours=0.25, processes=False)
+        assert sharded.report_json == solo.report_json
+        assert sharded.epoch_ms == 40.0
+        assert solo.report_json != default.report_json
+
+    def test_latency_overrides_an_explicit_spec(self):
+        spec = fleet_spec(2, seed=1)
+        result = run_fleet(spec=spec, shards=2, hours=0.1, latency_ms=50.0,
+                           processes=False)
+        assert result.epoch_ms == 50.0
+
+
+class TestAdaptiveBarriers:
+    def test_single_shard_collapses_to_one_barrier(self):
+        # One shard can never egress (every JID is local), so the adaptive
+        # horizon jumps straight to T: one window, same merged report.
+        result = run_fleet(3, 1, seed=6, hours=0.5, processes=False)
+        assert result.barriers == 1
+        assert result.handoffs == 0
+
+    def test_fleet_without_cross_shard_edges_collapses(self):
+        # One device + its collector both land on shard 0; shard 1 is
+        # empty.  No shard holds a remote roster edge, so neither bounds
+        # the window — yet the merged report must still match solo.
+        sharded = run_fleet(1, 2, seed=6, hours=0.5, processes=False)
+        solo = run_fleet(1, 1, seed=6, hours=0.5, processes=False)
+        assert sharded.barriers == 1
+        assert sharded.report_json == solo.report_json
+
+    def test_capable_fleet_still_barriers_at_epoch_granularity(self):
+        # Devices on shards 1.. talk to the collector on shard 0 and vice
+        # versa: every shard keeps remote edges, so the adaptive horizon
+        # changes nothing for the standard battery fleet.
+        result = run_fleet(6, 3, seed=6, hours=0.25, processes=False)
+        assert result.barriers > 10
+        assert result.handoffs > 0
+
+    def test_incapable_egress_fails_loudly(self):
+        # A shard that reported no remote edges and then egresses anyway
+        # violates the capability contract; the coordinator must raise,
+        # not silently mis-time the delivery.
+        from repro.fleet.worker import WORKLOADS
+
+        def rogue_setup(shard, fleet_ctx):
+            WORKLOADS["battery-monitor"](shard, fleet_ctx)
+            if shard.shard_id.endswith("/1"):
+                shard.kernel.schedule_at(
+                    100.0, shard._queue_egress,
+                    "ghost@elsewhere", "device-1@pogo", {"kind": "message"},
+                )
+
+        WORKLOADS["rogue-egress"] = rogue_setup
+        try:
+            with pytest.raises(FleetError, match="egress-capability"):
+                run_fleet(1, 2, seed=0, hours=0.25, processes=False,
+                          workload="rogue-egress")
+        finally:
+            del WORKLOADS["rogue-egress"]
+
+
+class TestShmCleanup:
+    @staticmethod
+    def _shm_entries():
+        import glob
+        import os
+
+        if not os.path.isdir("/dev/shm"):
+            pytest.skip("no /dev/shm on this platform")
+        return set(glob.glob("/dev/shm/*pogo*"))
+
+    def test_spawned_run_leaves_no_shm(self):
+        before = self._shm_entries()
+        run_fleet(2, 2, seed=0, hours=0.05, processes=True,
+                  barrier_timeout_s=120.0)
+        assert self._shm_entries() == before
+
+    def test_setup_crash_leaves_no_shm_or_workers(self):
+        import multiprocessing
+
+        from repro.fleet.worker import WorkerCrashed
+
+        before = self._shm_entries()
+        with pytest.raises(WorkerCrashed):
+            run_fleet(2, 2, seed=0, hours=0.05, processes=True,
+                      workload="crash-canary", barrier_timeout_s=120.0)
+        assert self._shm_entries() == before
+        assert multiprocessing.active_children() == []
+
+    def test_mid_epoch_crash_leaves_no_shm_or_workers(self):
+        import multiprocessing
+
+        from repro.fleet.worker import WorkerCrashed
+        from repro.scenarios import ScenarioSpec
+
+        spec = ScenarioSpec(name="crashy", seed=5, devices=4, hours=0.25,
+                            city_places=16)
+        before = self._shm_entries()
+        with pytest.raises(WorkerCrashed):
+            run_fleet(
+                spec=spec.compile(), shards=2,
+                duration_ms=0.25 * 3_600_000.0,
+                workload="scenario-crash-mid-epoch",
+                workload_ctx={"scenario": spec},
+                processes=True, barrier_timeout_s=120.0,
+            )
+        assert self._shm_entries() == before
+        assert multiprocessing.active_children() == []
+
+    def test_ring_disabled_fallback_matches(self):
+        # shm_ring_bytes=0 forces the inline pipe path end to end.
+        inline = run_fleet(4, 2, seed=6, hours=0.25, processes=True,
+                           shm_ring_bytes=0, barrier_timeout_s=120.0,
+                           telemetry=True)
+        solo = run_fleet(4, 1, seed=6, hours=0.25, processes=False)
+        assert inline.report_json == solo.report_json
+        assert inline.timeline is not None

@@ -1,0 +1,124 @@
+"""Unit tests for the shared-memory SPSC ring (repro.obs.shm)."""
+
+import random
+
+import pytest
+
+from repro.obs.shm import DEFAULT_RING_BYTES, ShmError, ShmRing, shm_available
+
+needs_shm = pytest.mark.skipif(
+    not shm_available(), reason="no POSIX shared memory on this platform"
+)
+
+
+@needs_shm
+class TestRing:
+    def test_push_drain_round_trip(self):
+        ring = ShmRing.create(256)
+        try:
+            assert ring.try_push(b"alpha")
+            assert ring.try_push(b"")
+            assert ring.try_push(b"beta")
+            assert ring.drain() == [b"alpha", b"", b"beta"]
+            assert ring.drain() == []
+        finally:
+            ring.unlink()
+
+    def test_len_counts_unread_bytes(self):
+        ring = ShmRing.create(128)
+        try:
+            assert len(ring) == 0
+            ring.try_push(b"12345")
+            assert len(ring) == 4 + 5
+            ring.drain()
+            assert len(ring) == 0
+        finally:
+            ring.unlink()
+
+    def test_full_ring_refuses_without_corruption(self):
+        ring = ShmRing.create(64)
+        try:
+            payload = b"x" * 64  # 4 + 64 > 64: can never fit
+            assert not ring.try_push(payload)
+            assert len(ring) == 0
+            assert ring.try_push(b"ok")
+            assert ring.drain() == [b"ok"]
+        finally:
+            ring.unlink()
+
+    def test_wraparound_preserves_records(self):
+        # Fill/drain far past capacity so the cursors wrap byte-wise many
+        # times; every record must come back intact and in order.
+        ring = ShmRing.create(96)
+        rng = random.Random(7)
+        expected = []
+        try:
+            for round_no in range(200):
+                payload = bytes([round_no % 256]) * rng.randrange(0, 40)
+                if ring.try_push(payload):
+                    expected.append(payload)
+                else:
+                    # Exact fit condition: it failed because it cannot fit.
+                    assert 4 + len(payload) > ring.capacity - len(ring)
+                    assert ring.drain() == expected
+                    expected = [payload]
+                    assert ring.try_push(payload)
+            assert ring.drain() == expected
+        finally:
+            ring.unlink()
+
+    def test_torn_record_is_detected(self):
+        import struct
+
+        ring = ShmRing.create(64)
+        try:
+            ring.try_push(b"abc")
+            # Corrupt the length prefix to claim more bytes than exist.
+            struct.Struct("<I").pack_into(ring._shm.buf, 16, 1000)
+            with pytest.raises(ShmError, match="torn"):
+                ring.drain()
+        finally:
+            ring.unlink()
+
+    def test_attach_sees_creator_writes(self):
+        ring = ShmRing.create(128)
+        try:
+            other = ShmRing.attach(ring.name)
+            ring.try_push(b"hello")
+            assert other.drain() == [b"hello"]
+            other.close()
+        finally:
+            ring.unlink()
+
+    def test_close_then_use_raises(self):
+        ring = ShmRing.create(64)
+        ring.unlink()
+        with pytest.raises(ShmError, match="closed"):
+            ring.try_push(b"x")
+        with pytest.raises(ShmError, match="closed"):
+            ring.drain()
+
+    def test_unlink_is_idempotent(self):
+        ring = ShmRing.create(64)
+        ring.unlink()
+        ring.unlink()  # second call is a no-op, not an error
+
+    def test_tiny_capacity_is_rejected(self):
+        with pytest.raises(ShmError, match="capacity"):
+            ShmRing.create(8)
+
+    def test_name_is_unique_per_ring(self):
+        a = ShmRing.create(64)
+        b = ShmRing.create(64)
+        try:
+            assert a.name != b.name
+        finally:
+            a.unlink()
+            b.unlink()
+
+    def test_default_capacity(self):
+        ring = ShmRing.create()
+        try:
+            assert ring.capacity == DEFAULT_RING_BYTES
+        finally:
+            ring.unlink()
